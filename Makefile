@@ -1,0 +1,40 @@
+# parbw — reproduction of "Modeling Parallel Bandwidth: Local vs. Global
+# Restrictions" (SPAA 1997). Stdlib-only Go; everything runs offline.
+
+GO ?= go
+
+.PHONY: all build test bench experiments verify export clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure; simulated model time reported as
+# custom metrics (simtime-*, sep-x).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table (EXPERIMENTS.md quotes these).
+experiments:
+	$(GO) run ./cmd/bandsim run all
+
+# The reproduction checklist: PASS/FAIL per headline claim.
+verify:
+	$(GO) run ./cmd/bandsim verify
+
+# CSVs for downstream plotting.
+export:
+	$(GO) run ./cmd/bandsim export results
+
+# The capture files the repo ships with.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf results

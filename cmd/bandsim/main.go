@@ -1,0 +1,131 @@
+// Command bandsim runs the paper-reproduction experiments of the parbw
+// library: the Table 1 separation rows, the lower-bound and simulation
+// results of Sections 4–5, and the unbalanced/dynamic scheduling results of
+// Section 6 of Adler, Gibbons, Matias & Ramachandran, "Modeling Parallel
+// Bandwidth: Local vs. Global Restrictions" (SPAA 1997).
+//
+// Usage:
+//
+//	bandsim list                 list all experiment ids
+//	bandsim run <id>...          run selected experiments
+//	bandsim run all              run everything (this regenerates Table 1
+//	                             and every per-theorem table)
+//
+// Flags:
+//
+//	-seed N    experiment seed (default 1)
+//	-quick     smaller parameter sweeps
+//	-csv       emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"parbw/internal/harness"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := harness.Config{Seed: *seed, Quick: *quick, CSV: *csv}
+
+	switch args[0] {
+	case "trace":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "bandsim: trace needs a target (broadcast|prefix|unbalanced|listrank|sort)")
+			os.Exit(2)
+		}
+		if err := runTrace(os.Stdout, args[1], *seed, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "bandsim:", err)
+			os.Exit(1)
+		}
+	case "verify":
+		if fails := harness.Verify(os.Stdout, *seed); fails > 0 {
+			fmt.Fprintf(os.Stderr, "bandsim: %d check(s) failed\n", fails)
+			os.Exit(1)
+		}
+		fmt.Println("\nall reproduction checks passed")
+	case "export":
+		dir := "results"
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		if err := exportAll(dir, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "bandsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment CSVs to %s/\n", len(harness.All()), dir)
+	case "list":
+		for _, e := range harness.All() {
+			fmt.Printf("%-20s %s — %s\n", e.ID, e.Title, e.Source)
+		}
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "bandsim: run needs experiment ids (or 'all')")
+			os.Exit(2)
+		}
+		if args[1] == "all" {
+			harness.RunAll(os.Stdout, cfg)
+			return
+		}
+		for _, id := range args[1:] {
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bandsim: unknown experiment %q (try 'bandsim list')\n", id)
+				os.Exit(1)
+			}
+			fmt.Printf("\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
+			e.Run(os.Stdout, cfg)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `bandsim — experiments for "Modeling Parallel Bandwidth: Local vs. Global Restrictions"
+
+usage:
+  bandsim [flags] list
+  bandsim [flags] run <id>... | all
+  bandsim [flags] export [dir]    write every experiment as CSV (default dir: results/)
+  bandsim [flags] verify          run the reproduction checklist (PASS/FAIL per claim)
+  bandsim [flags] trace <algo>    per-superstep timeline of one algorithm run
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+// exportAll writes one CSV file per experiment into dir.
+func exportAll(dir string, cfg harness.Config) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg.CSV = true
+	for _, e := range harness.All() {
+		name := strings.ReplaceAll(e.ID, "/", "_") + ".csv"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		e.Run(f, cfg)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parbw/internal/harness"
+)
+
+func TestRunTraceTargets(t *testing.T) {
+	for name := range traceTargets {
+		var buf bytes.Buffer
+		if err := runTrace(&buf, name, 1, false); err != nil {
+			t.Fatalf("trace %s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "superstep timeline") || !strings.Contains(out, "total simulated time") {
+			t.Fatalf("trace %s output malformed:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTrace(&buf, "broadcast", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "superstep,") {
+		t.Fatalf("CSV trace missing header: %q", buf.String()[:40])
+	}
+}
+
+func TestRunTraceUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTrace(&buf, "nope", 1, false); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestExportAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := exportAll(dir, harness.Config{Seed: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(harness.All()) {
+		t.Fatalf("exported %d files, want %d", len(entries), len(harness.All()))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "table1_broadcast.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "p,model,measured") {
+		t.Fatalf("CSV header missing: %q", string(b)[:60])
+	}
+}

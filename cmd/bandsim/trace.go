@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"parbw/internal/bsp"
+	"parbw/internal/collective"
+	"parbw/internal/model"
+	"parbw/internal/problems"
+	"parbw/internal/sched"
+	"parbw/internal/tablefmt"
+	"parbw/internal/xrand"
+)
+
+// traceTargets maps `bandsim trace <name>` to algorithm drivers executed on
+// a traced BSP(m) machine (p=256, m=32, L=4, exponential penalty).
+var traceTargets = map[string]func(m *bsp.Machine, seed uint64){
+	"broadcast": func(m *bsp.Machine, seed uint64) {
+		collective.BroadcastBSP(m, 0, 1)
+	},
+	"prefix": func(m *bsp.Machine, seed uint64) {
+		vals := make([]int64, m.P())
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		collective.PrefixSumBSP(m, vals, collective.Sum, 0)
+	},
+	"unbalanced": func(m *bsp.Machine, seed uint64) {
+		plan := sched.ZipfPlan(xrand.New(seed), m.P(), 8*m.P(), 1.1)
+		sched.UnbalancedSend(m, plan, sched.Options{Eps: 0.25})
+	},
+	"listrank": func(m *bsp.Machine, seed uint64) {
+		problems.ListRankContractBSP(m, problems.RandomList(xrand.New(seed), m.P()))
+	},
+	"sort": func(m *bsp.Machine, seed uint64) {
+		keys := make([]int64, m.P())
+		rng := xrand.New(seed)
+		for i := range keys {
+			keys[i] = int64(rng.Uint64() % 9973)
+		}
+		problems.ColumnsortBSP(m, keys, 8)
+	},
+}
+
+// runTrace executes the named algorithm on a traced machine and prints a
+// per-superstep timeline: work, h, injection steps, max per-step load,
+// overloads, c_m and the superstep's charged cost.
+func runTrace(w io.Writer, name string, seed uint64, csv bool) error {
+	fn, ok := traceTargets[name]
+	if !ok {
+		names := make([]string, 0, len(traceTargets))
+		for n := range traceTargets {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown trace target %q (have %v)", name, names)
+	}
+	m := bsp.New(bsp.Config{P: 256, Cost: model.BSPm(32, 4), Seed: seed, Trace: true})
+	fn(m, seed)
+	t := tablefmt.New(fmt.Sprintf("superstep timeline: %s (p=256, m=32, L=4)", name),
+		"superstep", "work", "h", "msgs", "steps", "maxload", "overloads", "c_m", "cost", "cum time")
+	cum := 0.0
+	for i, st := range m.Trace() {
+		cum += st.Cost
+		t.Row(i, st.W, st.H, st.N, st.Steps, st.MaxSlot, st.Overload, st.CM, st.Cost, cum)
+	}
+	if csv {
+		fmt.Fprint(w, t.CSV())
+	} else {
+		fmt.Fprintln(w, t.String())
+	}
+	fmt.Fprintf(w, "total simulated time: %.1f over %d supersteps\n", m.Time(), m.Supersteps())
+	return nil
+}

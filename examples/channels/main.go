@@ -1,0 +1,62 @@
+// Channels: what the BSP(m)'s exponential penalty actually abstracts.
+// p sources share m Ethernet-like channels (the multiple-channel model of
+// the paper's Section 3 related work): per step each pending source picks a
+// random channel, and a flit is delivered only when its channel has exactly
+// one contender. Throughput is k·(1−1/m)^{k−1} for k contenders — the
+// slotted-ALOHA curve, which peaks at m/e and then collapses.
+//
+// The example drains the same traffic three ways: an Unbalanced-Send-paced
+// schedule, a naive burst, and a naive burst rescued by binary exponential
+// backoff, then prints the throughput curve alongside the model's f^u
+// charge.
+//
+// Run with: go run ./examples/channels
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"parbw/internal/model"
+	"parbw/internal/netsim"
+	"parbw/internal/xrand"
+)
+
+const (
+	p    = 64
+	m    = 8
+	per  = 16 // flits per source
+	seed = 2
+)
+
+func main() {
+	x := make([]int, p)
+	for i := range x {
+		x[i] = per
+	}
+	n := p * per
+
+	rng := xrand.New(seed)
+	paced := netsim.Run(netsim.Config{Sources: p, Channels: m, Seed: seed},
+		netsim.UnbalancedSchedule(rng, x, m, 4.0)) // load 0.2·m < ALOHA capacity m/e
+	burst := netsim.Run(netsim.Config{Sources: p, Channels: m, Seed: seed},
+		netsim.NaiveSchedule(x))
+	backoff := netsim.RunBackoff(netsim.Config{Sources: p, Channels: m, Seed: seed},
+		netsim.NaiveSchedule(x), 10)
+
+	fmt.Printf("%d flits through %d channels (%d sources):\n\n", n, m, p)
+	fmt.Printf("  %-28s makespan %8d   collisions %8d\n", "Unbalanced-Send paced (ε=4):", paced.Makespan, paced.Collided)
+	fmt.Printf("  %-28s makespan %8d   collisions %8d\n", "naive burst:", burst.Makespan, burst.Collided)
+	fmt.Printf("  %-28s makespan %8d   collisions %8d\n", "burst + binary backoff:", backoff.Makespan, backoff.Collided)
+
+	fmt.Printf("\nthroughput vs contenders (m=%d) — why overload is penalized exponentially:\n\n", m)
+	fmt.Printf("  %-12s %-10s %-28s %s\n", "contenders", "del./step", "", "f^u charge")
+	for _, k := range []int{2, 4, 8, 16, 32, 64} {
+		thr := netsim.ExpectedThroughput(k, m)
+		pen := model.ExpPenalty(k, m)
+		bar := strings.Repeat("#", int(thr*8))
+		fmt.Printf("  %-12d %-10.3f %-28s %.3g\n", k, thr, bar, pen)
+	}
+	fmt.Println("\nThe paced schedule never exceeds the network's stable region; the burst")
+	fmt.Println("enters the collapse regime that the BSP(m)'s f^u(m_t) = e^{m_t/m − 1} models.")
+}

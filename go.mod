@@ -1,0 +1,3 @@
+module parbw
+
+go 1.22

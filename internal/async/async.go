@@ -1,0 +1,180 @@
+// Package async is an asynchronous counterpart to the bulk-synchronous
+// BSP(m) machine — the direction of the paper's remark that "many of our
+// results extend to more asynchronous models". Processors are goroutines
+// exchanging messages over channels; there are no supersteps. Time is
+// logical (Lamport-style clocks): local work advances a processor's clock,
+// and the shared network advances a global token clock by 1/m per message,
+// so the aggregate bandwidth limit is enforced by *backpressure* rather
+// than by an explicit schedule — a sender's clock stalls until the network
+// can take its message.
+//
+// The interesting consequence, measured by the `async/backpressure`
+// experiment: on an asynchronous machine with flow control, oblivious
+// injection already completes within max(n/m, x̄, ȳ) + L — the network's
+// serialization point performs the "scheduling" that Theorem 6.2's
+// randomized algorithm must perform explicitly in the bulk-synchronous
+// setting, where a sender commits to injection times without feedback.
+// This is precisely why the BSP(m) charges a penalty for oblivious
+// overload and why its algorithms must stagger sends.
+//
+// Logical completion time is deterministic up to the nondeterministic
+// interleaving of the network serialization point; totals (messages,
+// token-clock advance) are exact, and completion obeys
+// max(n/m, x̄+L, ȳ+L) <= T <= n/m + x̄ + ȳ + L for the workloads tested.
+package async
+
+import (
+	"fmt"
+	"sync"
+
+	"parbw/internal/model"
+)
+
+// Msg is an asynchronous message with its logical arrival time.
+type Msg struct {
+	Src, Dst int
+	A        int64
+	arrival  float64
+}
+
+// Arrival returns the message's logical arrival time at the receiver.
+func (m Msg) Arrival() float64 { return m.arrival }
+
+// Config describes an asynchronous machine.
+type Config struct {
+	P       int     // processors (goroutines)
+	M       int     // aggregate bandwidth: the network takes m messages per time unit
+	Latency float64 // delivery latency added to each message
+	// Buffer is the per-processor channel capacity (default p·8).
+	Buffer int
+}
+
+// Machine is the asynchronous runtime. Construct with New, run with Run.
+type Machine struct {
+	cfg   Config
+	boxes []chan Msg
+
+	mu       sync.Mutex
+	sent     int // admissions so far; admission k departs no earlier than k/m
+	maxClock float64
+}
+
+// New constructs an asynchronous machine.
+func New(cfg Config) *Machine {
+	if cfg.P < 1 || cfg.M < 1 {
+		panic("async: need P >= 1 and M >= 1")
+	}
+	if cfg.Latency < 0 {
+		panic("async: negative latency")
+	}
+	buf := cfg.Buffer
+	if buf <= 0 {
+		buf = cfg.P * 8
+	}
+	m := &Machine{cfg: cfg, boxes: make([]chan Msg, cfg.P)}
+	for i := range m.boxes {
+		m.boxes[i] = make(chan Msg, buf)
+	}
+	return m
+}
+
+// Proc is a processor's handle inside its goroutine.
+type Proc struct {
+	id    int
+	m     *Machine
+	clock float64
+}
+
+// ID returns the processor index.
+func (p *Proc) ID() int { return p.id }
+
+// Clock returns the processor's current logical time.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Work advances the processor's clock by units of local computation.
+func (p *Proc) Work(units float64) {
+	if units > 0 {
+		p.clock += units
+	}
+}
+
+// Send transmits a message under token-bucket backpressure: tokens
+// accumulate at rate m from time 0, so the k-th admitted message cannot
+// depart before k/m; a bursty sender may use capacity left idle earlier
+// (the linear-penalty world f^ℓ, where the network absorbs bursts at
+// sustained rate m). The sender's clock stalls to the departure time and
+// then advances one unit (one flit per step, as in the BSP models).
+func (p *Proc) Send(dst int, a int64) {
+	if dst < 0 || dst >= p.m.cfg.P {
+		panic(fmt.Sprintf("async: send to invalid dst %d", dst))
+	}
+	gap := 1.0 / float64(p.m.cfg.M)
+	p.m.mu.Lock()
+	k := p.m.sent
+	p.m.sent++
+	p.m.mu.Unlock()
+	depart := p.clock
+	if budget := float64(k) * gap; budget > depart {
+		depart = budget
+	}
+	p.clock = depart + 1
+	p.m.boxes[dst] <- Msg{Src: p.id, Dst: dst, A: a, arrival: depart + p.m.cfg.Latency}
+}
+
+// Recv blocks for the next message and advances the clock to its arrival
+// plus one unit of receive handling.
+func (p *Proc) Recv() Msg {
+	msg := <-p.m.boxes[p.id]
+	if msg.arrival > p.clock {
+		p.clock = msg.arrival
+	}
+	p.clock++
+	return msg
+}
+
+// Run executes program(i) for every processor concurrently and returns the
+// logical completion time (the maximum final clock) once all have finished.
+func (m *Machine) Run(program func(p *Proc)) float64 {
+	var wg sync.WaitGroup
+	clocks := make([]float64, m.cfg.P)
+	for i := 0; i < m.cfg.P; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pr := &Proc{id: i, m: m}
+			program(pr)
+			clocks[i] = pr.clock
+		}(i)
+	}
+	wg.Wait()
+	max := 0.0
+	for _, c := range clocks {
+		if c > max {
+			max = c
+		}
+	}
+	m.mu.Lock()
+	m.maxClock = max
+	m.mu.Unlock()
+	return max
+}
+
+// Sent returns the total messages admitted by the network.
+func (m *Machine) Sent() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sent
+}
+
+// OfflineBound returns the asynchronous lower bound
+// max(n/m, x̄, ȳ) + latency for a workload with the given totals.
+func (m *Machine) OfflineBound(n, xbar, ybar int) model.Time {
+	t := float64(n) / float64(m.cfg.M)
+	if f := float64(xbar); f > t {
+		t = f
+	}
+	if f := float64(ybar); f > t {
+		t = f
+	}
+	return t + m.cfg.Latency
+}

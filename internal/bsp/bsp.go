@@ -1,0 +1,379 @@
+// Package bsp simulates bulk-synchronous message-passing machines under the
+// locally-limited BSP(g) and globally-limited BSP(m) cost models of Adler,
+// Gibbons, Matias & Ramachandran (SPAA 1997), as well as the paper's
+// self-scheduling BSP(m) variant.
+//
+// A Machine owns p simulated processors. An algorithm is a sequence of calls
+// to Machine.Superstep, each executing a per-processor program concurrently
+// (on a bounded worker pool) and then performing the bulk synchronization:
+// messages sent in a superstep are delivered before the next superstep
+// begins, and the superstep is charged according to the machine's cost
+// model. All "time" accumulated by the machine is simulated model time.
+//
+// In the globally-limited models, a processor must schedule its message
+// injections into discrete steps within the superstep (at most one flit per
+// processor per step); SendAt pins the injection step, while Send assigns
+// the next free step. The engine records the exact per-step injection
+// histogram m_t and charges c_m = Σ_t f_m(m_t) per the model's penalty
+// function.
+//
+// Non-receipt of messages is observable (an empty inbox is information),
+// which the ternary broadcast of the paper's Section 4.2 exploits.
+package bsp
+
+import (
+	"fmt"
+	"sort"
+
+	"parbw/internal/model"
+	"parbw/internal/workpool"
+	"parbw/internal/xrand"
+)
+
+// Msg is a point-to-point message. Len is the message length in flits
+// (Len <= 0 is treated as 1). The payload fields A, B, C carry algorithm
+// data; Tag distinguishes message roles within an algorithm.
+type Msg struct {
+	Src, Dst int32
+	Tag      uint8
+	Len      int32
+	A, B, C  int64
+}
+
+// Flits returns the length of the message in flits (at least 1).
+func (m Msg) Flits() int {
+	if m.Len <= 1 {
+		return 1
+	}
+	return int(m.Len)
+}
+
+// send is a scheduled outgoing message: the message's flits occupy
+// injection steps slot, slot+1, ..., slot+Flits-1 of the superstep.
+type send struct {
+	slot int
+	msg  Msg
+}
+
+// Stats describes one executed superstep.
+type Stats struct {
+	W        int        // maximum local work over processors
+	H        int        // max over processors of max(flits sent, flits received)
+	HSend    int        // max flits sent by any processor
+	HRecv    int        // max flits received by any processor
+	N        int        // total flits sent
+	Steps    int        // number of injection steps spanned (max slot + 1)
+	MaxSlot  int        // maximum per-step injection count m_t
+	Overload int        // number of steps with m_t > m (0 for local models)
+	CM       model.Time // c_m = Σ_t f_m(m_t) (0 for local models)
+	Cost     model.Time // superstep cost under the machine's model
+}
+
+// Config configures a Machine.
+type Config struct {
+	P    int        // number of simulated processors (>= 1)
+	Cost model.Cost // cost model; must be a BSP kind
+	Seed uint64     // experiment seed; all processor RNGs derive from it
+	// Workers bounds the host-CPU parallelism used to execute processor
+	// programs; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Trace, if true, retains the Stats of every superstep (Machine.Trace).
+	Trace bool
+}
+
+// Machine is a simulated BSP machine. Methods must be called from a single
+// driver goroutine; the per-processor programs passed to Superstep run
+// concurrently with each other but never concurrently with the driver.
+type Machine struct {
+	p    int
+	cost model.Cost
+	pool *workpool.Pool
+
+	ctxs  []Ctx
+	inbox [][]Msg // inbox[i]: messages delivered to processor i, readable this superstep
+	spare [][]Msg // recycled inbox buffers for the next superstep
+	hist  []int   // recycled per-step injection histogram
+
+	time  model.Time
+	steps int
+	last  Stats
+	trace []Stats
+	keep  bool
+}
+
+// New constructs a Machine. It panics on invalid configuration, since a
+// malformed machine is a programming error in an experiment definition.
+func New(cfg Config) *Machine {
+	if cfg.Cost.SharedMemory() {
+		panic(fmt.Sprintf("bsp: cost model %v is a QSM kind", cfg.Cost.Kind))
+	}
+	if err := cfg.Cost.Validate(cfg.P); err != nil {
+		panic("bsp: " + err.Error())
+	}
+	m := &Machine{
+		p:     cfg.P,
+		cost:  cfg.Cost,
+		pool:  workpool.New(cfg.Workers),
+		ctxs:  make([]Ctx, cfg.P),
+		inbox: make([][]Msg, cfg.P),
+		spare: make([][]Msg, cfg.P),
+		keep:  cfg.Trace,
+	}
+	root := xrand.New(cfg.Seed)
+	for i := range m.ctxs {
+		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
+	}
+	return m
+}
+
+// P returns the number of simulated processors.
+func (m *Machine) P() int { return m.p }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() model.Cost { return m.cost }
+
+// L returns the machine's periodicity parameter.
+func (m *Machine) L() int { return m.cost.L }
+
+// Time returns the accumulated simulated time.
+func (m *Machine) Time() model.Time { return m.time }
+
+// Supersteps returns the number of supersteps executed.
+func (m *Machine) Supersteps() int { return m.steps }
+
+// Last returns the Stats of the most recent superstep.
+func (m *Machine) Last() Stats { return m.last }
+
+// Trace returns the retained per-superstep Stats (nil unless Config.Trace).
+func (m *Machine) Trace() []Stats { return m.trace }
+
+// ChargeTime adds t units of simulated time outside any superstep. It is
+// used by protocols whose analysis charges fixed terms (for example a known
+// constant broadcast cost) without simulating them step by step.
+func (m *Machine) ChargeTime(t model.Time) { m.time += t }
+
+// Ctx is the per-processor view of the current superstep. A Ctx is valid
+// only inside the program function of the superstep it was passed to.
+type Ctx struct {
+	id  int
+	m   *Machine
+	rng *xrand.Source
+
+	work     int
+	sends    []send
+	autoSlot int
+	recvUsed bool
+}
+
+// ID returns this processor's index in [0, P).
+func (c *Ctx) ID() int { return c.id }
+
+// P returns the machine's processor count.
+func (c *Ctx) P() int { return c.m.p }
+
+// L returns the machine's periodicity parameter.
+func (c *Ctx) L() int { return c.m.cost.L }
+
+// RNG returns this processor's private deterministic random source. The
+// source persists across supersteps.
+func (c *Ctx) RNG() *xrand.Source { return c.rng }
+
+// Charge records units of local computation performed this superstep.
+func (c *Ctx) Charge(units int) {
+	if units > 0 {
+		c.work += units
+	}
+}
+
+// Recv returns the messages delivered to this processor at the end of the
+// previous superstep. The slice is owned by the engine and must not be
+// retained past the program function.
+func (c *Ctx) Recv() []Msg {
+	c.recvUsed = true
+	return c.m.inbox[c.id]
+}
+
+// Send enqueues msg to dst, assigning the message's flits to this
+// processor's next free injection steps. Payload a is stored in Msg.A.
+func (c *Ctx) Send(dst int, tag uint8, a int64) {
+	c.SendMsg(dst, Msg{Tag: tag, A: a})
+}
+
+// SendMsg enqueues msg to dst at this processor's next free injection steps.
+func (c *Ctx) SendMsg(dst int, msg Msg) {
+	c.sendAt(c.autoSlot, dst, msg)
+}
+
+// SendAt enqueues msg to dst with its first flit injected at step slot
+// (0-based within the superstep); a message of k flits occupies steps
+// slot..slot+k-1 consecutively. At most one flit may be injected by a
+// processor per step; violations are detected at superstep end and panic.
+func (c *Ctx) SendAt(slot, dst int, msg Msg) {
+	if slot < 0 {
+		panic(fmt.Sprintf("bsp: proc %d SendAt negative slot %d", c.id, slot))
+	}
+	c.sendAt(slot, dst, msg)
+}
+
+func (c *Ctx) sendAt(slot, dst int, msg Msg) {
+	if dst < 0 || dst >= c.m.p {
+		panic(fmt.Sprintf("bsp: proc %d send to invalid dst %d (p=%d)", c.id, dst, c.m.p))
+	}
+	msg.Src = int32(c.id)
+	msg.Dst = int32(dst)
+	if msg.Len <= 0 {
+		msg.Len = 1
+	}
+	c.sends = append(c.sends, send{slot: slot, msg: msg})
+	if end := slot + msg.Flits(); end > c.autoSlot {
+		c.autoSlot = end
+	}
+}
+
+// Superstep executes fn for every processor, then synchronizes: messages are
+// delivered, the superstep is costed under the machine's model, and the
+// machine clock advances. It returns the superstep's Stats.
+func (m *Machine) Superstep(fn func(c *Ctx)) Stats {
+	// Run processor programs in parallel.
+	m.pool.For(m.p, func(i int) {
+		c := &m.ctxs[i]
+		c.work = 0
+		c.sends = c.sends[:0]
+		c.autoSlot = 0
+		c.recvUsed = false
+		fn(c)
+	})
+
+	st := m.merge()
+	m.time += st.Cost
+	m.steps++
+	m.last = st
+	if m.keep {
+		m.trace = append(m.trace, st)
+	}
+	return st
+}
+
+// merge performs the bulk synchronization: validates injection schedules,
+// builds the per-step histogram, routes messages, and computes the cost.
+func (m *Machine) merge() Stats {
+	var st Stats
+
+	// Sizes first (single pass over processors).
+	maxStep := 0
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		if c.work > st.W {
+			st.W = c.work
+		}
+		sent := 0
+		for _, s := range c.sends {
+			fl := s.msg.Flits()
+			sent += fl
+			if end := s.slot + fl; end > maxStep {
+				maxStep = end
+			}
+		}
+		if sent > st.HSend {
+			st.HSend = sent
+		}
+		st.N += sent
+	}
+	st.Steps = maxStep
+
+	// Per-step histogram and per-processor schedule validation. Validation
+	// sorts each processor's (slot, len) intervals and rejects overlaps:
+	// the model permits at most one flit injection per processor per step.
+	// The histogram and next-inbox buffers are recycled across supersteps;
+	// Recv slices are therefore only valid within their superstep, as
+	// documented.
+	if cap(m.hist) < maxStep {
+		m.hist = make([]int, maxStep)
+	}
+	hist := m.hist[:maxStep]
+	for i := range hist {
+		hist[i] = 0
+	}
+	recv := make([]int, m.p)
+	next := m.spare
+	for d := range next {
+		next[d] = next[d][:0]
+	}
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		if len(c.sends) > 1 {
+			sort.Slice(c.sends, func(a, b int) bool { return c.sends[a].slot < c.sends[b].slot })
+			prevEnd := -1
+			for _, s := range c.sends {
+				if s.slot < prevEnd {
+					panic(fmt.Sprintf("bsp: proc %d injects two flits in step %d (model allows one send initiation per step)", i, s.slot))
+				}
+				prevEnd = s.slot + s.msg.Flits()
+			}
+		}
+		for _, s := range c.sends {
+			fl := s.msg.Flits()
+			for f := 0; f < fl; f++ {
+				hist[s.slot+f]++
+			}
+			d := int(s.msg.Dst)
+			recv[d] += fl
+			next[d] = append(next[d], s.msg)
+		}
+	}
+	for d, r := range recv {
+		if r > st.HRecv {
+			st.HRecv = r
+		}
+		_ = d
+	}
+	st.H = st.HSend
+	if st.HRecv > st.H {
+		st.H = st.HRecv
+	}
+	for _, mt := range hist {
+		if mt > st.MaxSlot {
+			st.MaxSlot = mt
+		}
+		if m.cost.Global() && mt > m.cost.M {
+			st.Overload++
+		}
+	}
+	if m.cost.Kind == model.KindBSPm {
+		st.CM = m.cost.CM(hist)
+	}
+	st.Cost = m.cost.BSPSuperstep(st.W, st.H, st.N, hist)
+
+	m.spare = m.inbox
+	m.inbox = next
+	return st
+}
+
+// Inbox returns processor i's current inbox (the messages it would see via
+// Recv in the next superstep). Intended for drivers and tests.
+func (m *Machine) Inbox(i int) []Msg { return m.inbox[i] }
+
+// Deliver injects messages directly into inboxes without cost, bypassing the
+// network. It models free input distribution in experiments whose problem
+// statement places inputs at processors (and is also convenient in tests).
+func (m *Machine) Deliver(msgs []Msg) {
+	for _, msg := range msgs {
+		d := int(msg.Dst)
+		if d < 0 || d >= m.p {
+			panic(fmt.Sprintf("bsp: Deliver to invalid dst %d", d))
+		}
+		m.inbox[d] = append(m.inbox[d], msg)
+	}
+}
+
+// Reset clears inboxes, time and trace, preserving processors and RNG state.
+func (m *Machine) Reset() {
+	for i := range m.inbox {
+		m.inbox[i] = nil
+		m.spare[i] = nil
+	}
+	m.time = 0
+	m.steps = 0
+	m.last = Stats{}
+	m.trace = nil
+}

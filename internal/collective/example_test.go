@@ -1,0 +1,40 @@
+package collective_test
+
+import (
+	"fmt"
+
+	"parbw/internal/bsp"
+	"parbw/internal/collective"
+	"parbw/internal/model"
+	"parbw/internal/qsm"
+)
+
+// ExampleBroadcastBSP compares the same broadcast on the two cost
+// disciplines with equal aggregate bandwidth: the globally-limited machine
+// finishes first.
+func ExampleBroadcastBSP() {
+	const p, g, l = 256, 16, 8
+	local := bsp.New(bsp.Config{P: p, Cost: model.BSPg(g, l), Seed: 1})
+	collective.BroadcastBSP(local, 0, 42)
+	global := bsp.New(bsp.Config{P: p, Cost: model.BSPmLinear(p/g, l), Seed: 1})
+	out := collective.BroadcastBSP(global, 0, 42)
+	fmt.Printf("everyone got %d; BSP(m) faster: %v\n", out[p-1], global.Time() < local.Time())
+	// Output: everyone got 42; BSP(m) faster: true
+}
+
+// ExamplePrefixSumBSP shows the combine tree that prices the schedulers'
+// τ term: exclusive prefixes plus the broadcast total.
+func ExamplePrefixSumBSP() {
+	m := bsp.New(bsp.Config{P: 4, Cost: model.BSPmLinear(2, 2), Seed: 1})
+	pre, total := collective.PrefixSumBSP(m, []int64{3, 1, 4, 1}, collective.Sum, 0)
+	fmt.Println(pre, total)
+	// Output: [0 3 4 8] 9
+}
+
+// ExampleBroadcastQSM broadcasts through shared memory with doubling.
+func ExampleBroadcastQSM() {
+	m := qsm.New(qsm.Config{P: 8, Mem: 16, Cost: model.QSMm(2), Seed: 1})
+	out := collective.BroadcastQSM(m, 3, 7)
+	fmt.Println(out[0], out[7])
+	// Output: 7 7
+}

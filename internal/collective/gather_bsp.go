@@ -1,0 +1,138 @@
+package collective
+
+import (
+	"parbw/internal/bsp"
+)
+
+// GatherBSP collects one value from every processor at root and returns the
+// gathered slice (indexed by source processor). Cost: the root receives
+// p−1 messages — h = p−1 — so Θ(g·p) on the BSP(g) versus Θ(p) on the
+// BSP(m): the receive-side mirror of one-to-all.
+func GatherBSP(m *bsp.Machine, root int, vals []int64) []int64 {
+	p := m.P()
+	if len(vals) != p {
+		panic("collective: GatherBSP needs one value per processor")
+	}
+	out := make([]int64, p)
+	out[root] = vals[root]
+	m.Superstep(func(c *bsp.Ctx) {
+		i := c.ID()
+		if i == root {
+			return
+		}
+		// One message per sender; the per-step aggregate is p−1 only in
+		// step 0 if unscheduled, so stagger by sender index.
+		slot := i
+		if i > root {
+			slot = i - 1
+		}
+		if m.Cost().Global() {
+			mm := m.Cost().M
+			c.SendAt(slot%maxIntc((p+mm-1)/mm*2, 1), root, bsp.Msg{A: vals[i], B: int64(i)})
+		} else {
+			c.SendAt(0, root, bsp.Msg{A: vals[i], B: int64(i)})
+		}
+	})
+	for _, msg := range m.Inbox(root) {
+		out[msg.B] = msg.A
+	}
+	return out
+}
+
+// ScatterBSP distributes vals[i] from root to each processor i (one-to-all
+// personalized communication by another name; kept for API symmetry).
+func ScatterBSP(m *bsp.Machine, root int, vals []int64) []int64 {
+	return OneToAllBSP(m, root, vals)
+}
+
+// AllGatherBSP makes every processor know every processor's value:
+// a gather at processor 0 followed by a pipelined broadcast of the p
+// values. Returns the full vector (identical at each processor; the driver
+// returns one copy). Cost Θ(p + stuff) on the BSP(m) versus Θ(g·p) on the
+// BSP(g).
+func AllGatherBSP(m *bsp.Machine, vals []int64) []int64 {
+	g := GatherBSP(m, 0, vals)
+	return BroadcastVecBSP(m, 0, g)
+}
+
+// BroadcastVecBSP broadcasts a k-item vector from root to every processor
+// using a pipelined binary tree: item j follows item j−1 down the tree one
+// superstep behind, so the total is O((k + depth)·stage) rather than
+// k·depth·stage — the standard pipelining win that both models enjoy, with
+// the BSP(m) paying max(h, c_m, L) and the BSP(g) paying max(g·h, L) per
+// stage. Returns the vector received by the last processor (all receive the
+// same; asserted by tests).
+func BroadcastVecBSP(m *bsp.Machine, root int, vec []int64) []int64 {
+	p := m.P()
+	k := len(vec)
+	if k == 0 {
+		return nil
+	}
+	if p == 1 {
+		return append([]int64(nil), vec...)
+	}
+	// Binary tree over virtual ids (root = 0).
+	vid := func(i int) int { return (i - root + p) % p }
+	rid := func(v int) int { return (v + root) % p }
+	depth := 0
+	for 1<<depth < p {
+		depth++
+	}
+	got := make([][]int64, p)
+	for i := range got {
+		got[i] = make([]int64, 0, k)
+	}
+	got[root] = append(got[root], vec...)
+
+	mm := p
+	if m.Cost().Global() {
+		mm = m.Cost().M
+	}
+	// Stagger senders so that each injection step carries at most m
+	// messages: nodes are striped into K = ⌈p/m⌉ groups by virtual id and
+	// group q uses steps 2q and 2q+1 for its two child messages.
+	stripes := (p + mm - 1) / mm
+	// Each superstep, every node forwards its oldest unforwarded item to
+	// both children (items pipeline down the tree one level per superstep).
+	fwd := make([]int, p) // next item index to forward, per node
+	total := k + depth + 2
+	for t := 0; t < total; t++ {
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			v := vid(i)
+			j := fwd[i]
+			if j >= len(got[i]) {
+				return
+			}
+			slot := 2 * (v % stripes)
+			for _, child := range []int{2*v + 1, 2*v + 2} {
+				if child < p {
+					c.SendAt(slot, rid(child), bsp.Msg{A: got[i][j], B: int64(j)})
+					slot++
+				}
+			}
+			fwd[i] = j + 1
+		})
+		for i := 0; i < p; i++ {
+			for _, msg := range m.Inbox(i) {
+				// Items arrive in order along the pipeline.
+				if int(msg.B) == len(got[i]) {
+					got[i] = append(got[i], msg.A)
+				}
+			}
+		}
+	}
+	// All processors now hold the vector; return the farthest one's copy.
+	far := rid(p - 1)
+	if len(got[far]) != k {
+		panic("collective: pipelined broadcast incomplete")
+	}
+	return got[far]
+}
+
+func maxIntc(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,30 @@
+package dynamic_test
+
+import (
+	"fmt"
+
+	"parbw/internal/bsp"
+	"parbw/internal/dynamic"
+	"parbw/internal/model"
+)
+
+// Example shows the Theorem 6.5 / 6.7 contrast on one hot flow: a local
+// rate four times past the BSP(g)'s 1/g threshold diverges there but is
+// absorbed by Algorithm B on the BSP(m) with the same aggregate bandwidth.
+func Example() {
+	const p, g, l, windows = 16, 8, 4, 60
+	limits := dynamic.Limits{W: 32, Alpha: 0.5, Beta: 0.5} // β·g = 4
+	adv := dynamic.SingleTargetAdversary{L: limits}
+
+	lg := bsp.New(bsp.Config{P: p, Cost: model.BSPg(g, l), Seed: 1})
+	lres := dynamic.RunBSPgInterval(lg, adv, limits, windows)
+
+	gm := bsp.New(bsp.Config{P: p, Cost: model.BSPm(p/g, l), Seed: 1})
+	gres := dynamic.RunAlgorithmB(gm, adv, limits, windows, 0.25)
+
+	fmt.Printf("BSP(g) stable: %v\nBSP(m) stable: %v\n",
+		lres.LooksStable(), gres.LooksStable())
+	// Output:
+	// BSP(g) stable: false
+	// BSP(m) stable: true
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"io"
+
+	"parbw/internal/bsp"
+	"parbw/internal/dynamic"
+	"parbw/internal/lower"
+	"parbw/internal/problems"
+	"parbw/internal/queue"
+	"parbw/internal/tablefmt"
+	"parbw/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "dyn/bspg",
+		Title:  "Dynamic routing stability threshold on the BSP(g)",
+		Source: "Theorem 6.5",
+		Run:    runDynBSPg,
+	})
+	register(Experiment{
+		ID:     "dyn/bspm",
+		Title:  "Algorithm B on the BSP(m): stability region and service time",
+		Source: "Theorem 6.7 and Claim 6.8",
+		Run:    runDynBSPm,
+	})
+	register(Experiment{
+		ID:     "ablation/listrank",
+		Title:  "List ranking: pointer jumping vs random-mate contraction",
+		Source: "DESIGN.md ablation; Table 1 row 4 machinery",
+		Run:    runListRankAblation,
+	})
+}
+
+func runDynBSPg(w io.Writer, cfg Config) {
+	p, g, l := 16, 8, 4
+	windows := pick(cfg, 120, 40)
+	t := tablefmt.New("BSP(g) interval router, single-source flow (g=8, threshold 1/g = 0.125)",
+		"β", "β·g", "stable?", "final backlog", "max backlog")
+	for _, beta := range []float64{0.0625, 0.125, 0.25, 0.5, 1.0} {
+		lmt := dynamic.Limits{W: 32, Alpha: beta, Beta: beta}
+		adv := dynamic.SingleTargetAdversary{L: lmt}
+		m := newBSPg(p, g, l, cfg.Seed)
+		res := dynamic.RunBSPgInterval(m, adv, lmt, windows)
+		t.Row(beta, beta*float64(g), stableStr(res.LooksStable()),
+			res.Backlog[len(res.Backlog)-1], res.MaxBacklog)
+	}
+	emit(w, cfg, t)
+
+	t2 := tablefmt.New("same flows on the BSP(m), m = p/g = 2 (Algorithm B)",
+		"β", "stable?", "final backlog", "max backlog")
+	for _, beta := range []float64{0.25, 0.5, 1.0} {
+		lmt := dynamic.Limits{W: 32, Alpha: beta, Beta: beta}
+		adv := dynamic.SingleTargetAdversary{L: lmt}
+		m := newBSPmExp(p, p/g, l, cfg.Seed)
+		res := dynamic.RunAlgorithmB(m, adv, lmt, windows, 0.25)
+		t2.Row(beta, stableStr(res.LooksStable()),
+			res.Backlog[len(res.Backlog)-1], res.MaxBacklog)
+	}
+	emit(w, cfg, t2)
+
+	// Corollary 6.6: no algorithm is stable on the BSP(g) above total rate
+	// p/g, even with perfectly balanced (uniform) traffic.
+	t3 := tablefmt.New("Corollary 6.6: BSP(g) total-rate ceiling p/g = 2 (uniform adversary)",
+		"α (total rate)", "α·g/p", "stable?", "max backlog")
+	for _, alpha := range []float64{1, 2, 3, 4} {
+		lmt := dynamic.Limits{W: 32, Alpha: alpha, Beta: alpha / float64(p) * 4}
+		adv := dynamic.NewUniformAdversary(p, lmt, cfg.Seed)
+		m := newBSPg(p, g, l, cfg.Seed)
+		res := dynamic.RunBSPgInterval(m, adv, lmt, windows)
+		t3.Row(alpha, alpha*float64(g)/float64(p), stableStr(res.LooksStable()), res.MaxBacklog)
+	}
+	emit(w, cfg, t3)
+}
+
+func runDynBSPm(w io.Writer, cfg Config) {
+	p, mm, l := 32, 8, 2
+	windows := pick(cfg, 200, 50)
+	wW := 64
+	t := tablefmt.New("Algorithm B stability region (p=32, m=8, w=64, uniform adversary)",
+		"α", "α/m", "stable?", "max backlog", "mean service", "w bound")
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.5} {
+		alpha := frac * float64(mm)
+		lmt := dynamic.Limits{W: wW, Alpha: alpha, Beta: 0.9}
+		adv := dynamic.NewUniformAdversary(p, lmt, cfg.Seed)
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		res := dynamic.RunAlgorithmB(m, adv, lmt, windows, 0.25)
+		t.Row(alpha, frac, stableStr(res.LooksStable()), res.MaxBacklog,
+			res.MeanService(), wW)
+	}
+	emit(w, cfg, t)
+
+	// Service-time comparison against the Claim 6.8 dominating system and
+	// the Theorem 6.7 O(w²/u) bound.
+	u := wW / 4
+	sd := queue.SDoublePrime{W: wW, U: u}
+	t2 := tablefmt.New("Claim 6.8 analytics (w=64, u=16)",
+		"quantity", "value")
+	t2.Row("E[S''0] (dominating scaled service)", sd.Mean())
+	t2.Row("paper bound 1.21·w/u", 1.21*float64(wW)/float64(u))
+	t2.Row("Thm 6.7 expected-service bound 2.42·w²/u", lower.ExpectedServiceTime(wW, u))
+	mg1 := queue.MG1{Lambda: 0.1, Mu1: sd.Mean(), Mu2: sd.SecondMoment()}
+	t2.Row("M/G/1 mean queue at departure (r=0.1)", mg1.MeanQueueAtDeparture())
+	emit(w, cfg, t2)
+
+	// Variable-length extension: Algorithm B parameterized by the
+	// consecutive-flit scheduler (Theorem 6.7's "algorithm A" slot filled
+	// with Theorem 6.3).
+	t3 := tablefmt.New("Algorithm B with long messages (A = Unbalanced-Consecutive-Send)",
+		"flits/msg", "α·flits", "stable?", "max backlog", "mean service")
+	for _, fl := range []int{1, 2, 4, 8} {
+		alpha := float64(mm) / float64(4*fl)
+		lmt := dynamic.Limits{W: wW, Alpha: alpha, Beta: 0.5}
+		adv := dynamic.NewUniformAdversary(p, lmt, cfg.Seed)
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		res := dynamic.RunAlgorithmBWith(m, adv, lmt, windows, fl,
+			dynamic.ConsecutiveSendScheduler(0.25))
+		t3.Row(fl, alpha*float64(fl), stableStr(res.LooksStable()), res.MaxBacklog, res.MeanService())
+	}
+	emit(w, cfg, t3)
+}
+
+func runListRankAblation(w io.Writer, cfg Config) {
+	// Fixed small aggregate bandwidth m = 8 — the m ≪ p regime where the
+	// n/m term dominates. Pointer jumping moves Θ(n) messages per round
+	// (Θ((n/m)·lg n) total); contraction's geometrically shrinking rounds
+	// pay Θ(n/m + L·lg n), so its advantage grows with n.
+	l, mm := 2, 8
+	t := tablefmt.New("list ranking on BSP(m=8): pointer jumping vs contraction (n = p)",
+		"n", "pointer jumping", "contraction", "jump/contract")
+	for _, p := range pick(cfg, []int{512, 1024, 4096}, []int{256}) {
+		list := randomListFor(cfg.Seed, p)
+		mj := newBSPmL(p, mm, l, cfg.Seed)
+		problemsListRankJump(mj, list)
+		mc := newBSPmL(p, mm, l, cfg.Seed)
+		problemsListRankContract(mc, list)
+		t.Row(p, mj.Time(), mc.Time(), mj.Time()/mc.Time())
+	}
+	emit(w, cfg, t)
+}
+
+func stableStr(b bool) string {
+	if b {
+		return "stable"
+	}
+	return "UNSTABLE"
+}
+
+// Small indirections keeping dynexp.go's imports tidy.
+func randomListFor(seed uint64, n int) problems.List {
+	return problems.RandomList(xrand.New(seed), n)
+}
+
+func problemsListRankJump(m *bsp.Machine, l problems.List)     { problems.ListRankJumpBSP(m, l) }
+func problemsListRankContract(m *bsp.Machine, l problems.List) { problems.ListRankContractBSP(m, l) }

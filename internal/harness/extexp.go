@@ -1,0 +1,439 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"parbw/internal/async"
+	"parbw/internal/bsp"
+	"parbw/internal/collective"
+	"parbw/internal/dynamic"
+	"parbw/internal/emulate"
+	"parbw/internal/model"
+	"parbw/internal/netsim"
+	"parbw/internal/problems"
+	"parbw/internal/sched"
+	"parbw/internal/tablefmt"
+	"parbw/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "sched/qsm-static",
+		Title:  "Unbalanced-Send on the QSM(m) (the paper's reader exercise)",
+		Source: "Section 6 intro: \"the same techniques ... for the QSM(m)\"",
+		Run:    runSchedQSM,
+	})
+	register(Experiment{
+		ID:     "emul/pram-map",
+		Title:  "Generic EREW-PRAM → QSM(m) mapping, O(n/m + t + w/m)",
+		Source: "Section 4 observation",
+		Run:    runPRAMMap,
+	})
+	register(Experiment{
+		ID:     "dyn/phase",
+		Title:  "Dynamic stability phase diagram over (α, β)",
+		Source: "Theorems 6.5 and 6.7 combined",
+		Run:    runDynPhase,
+	})
+	register(Experiment{
+		ID:     "coll/pipeline",
+		Title:  "Pipelined k-item broadcast and gather",
+		Source: "collective machinery behind the Table 1 primitives",
+		Run:    runPipeline,
+	})
+}
+
+func runSchedQSM(w io.Writer, cfg Config) {
+	p, mm, blk := pick(cfg, 64, 32), pick(cfg, 16, 8), 64
+	eps := 0.25
+	t := tablefmt.New("QSM(m) write scheduling: Unbalanced-Send vs naive (exp penalty)",
+		"skew", "n", "x̄", "scheduled", "naive", "naive/sched", "maxslot", "m")
+	for _, skew := range []float64{0, 0.8, 1.4} {
+		rng := xrand.New(cfg.Seed)
+		plan := qsmZipfPlan(rng, p, p*30, blk, skew)
+		ms := newQSMmMem(p, p*blk, expQSMm(mm), cfg.Seed)
+		rs := sched.UnbalancedSendQSM(ms, plan, sched.Options{Eps: eps})
+		mn := newQSMmMem(p, p*blk, expQSMm(mm), cfg.Seed)
+		rn := sched.NaiveSendQSM(mn, plan)
+		t.Row(fmt.Sprintf("zipf %.1f", skew), rs.N, rs.XBar, rs.Time, rn.Time,
+			rn.Time/rs.Time, rs.Phase.MaxSlot, mm)
+	}
+	emit(w, cfg, t)
+}
+
+// qsmZipfPlan mirrors the test generator: disjoint per-processor address
+// blocks with Zipf-skewed counts.
+func qsmZipfPlan(rng *xrand.Source, p, n, blk int, skew float64) sched.QSMPlan {
+	plan := make(sched.QSMPlan, p)
+	z := xrand.NewZipf(rng, p, skew)
+	count := make([]int, p)
+	for k := 0; k < n; k++ {
+		i := z.Draw()
+		if count[i] >= blk {
+			continue
+		}
+		plan[i] = append(plan[i], sched.QSMWrite{Addr: i*blk + count[i], Val: int64(k)})
+		count[i]++
+	}
+	return plan
+}
+
+func expQSMm(mm int) (c modelCost) {
+	c = qsmmExpCost(mm)
+	return c
+}
+
+func runPRAMMap(w io.Writer, cfg Config) {
+	n := pick(cfg, 512, 128)
+	t := tablefmt.New("prefix-doubling summation (t=2·lg n steps, w≈2n·lg n) mapped to the QSM(m)",
+		"n", "m", "QSM time", "t + w/m", "ratio", "overloads")
+	for _, mm := range pick(cfg, []int{2, 4, 8, 16, 32}, []int{2, 8}) {
+		prog, final := emulate.PrefixDoublingSum(n)
+		m := newQSMmMem(64, 2*n, qsmmLinCost(mm), cfg.Seed)
+		for i := 0; i < n; i++ {
+			m.Store(i, 1)
+		}
+		st := emulate.RunPRAMOnQSM(m, prog)
+		if m.Load(final()) != int64(n) {
+			panic("harness: mapped prefix sum wrong")
+		}
+		pred := float64(st.Steps) + float64(st.Work)/float64(mm)
+		t.Row(n, mm, st.QSMTime, pred, st.QSMTime/pred, st.Overload)
+	}
+	emit(w, cfg, t)
+}
+
+func runDynPhase(w io.Writer, cfg Config) {
+	p, g, l := 16, 8, 4
+	mm := p / g
+	windows := pick(cfg, 100, 30)
+	t := tablefmt.New("stability phase diagram (p=16, g=8, m=2, uniform adversary; S=stable, U=unstable)",
+		"α \\ β", "0.125", "0.25", "0.5", "1.0")
+	for _, alpha := range []float64{0.25, 0.5, 1.0, 2.0} {
+		row := []any{fmt.Sprintf("%.2f", alpha)}
+		for _, beta := range []float64{0.125, 0.25, 0.5, 1.0} {
+			if beta > alpha {
+				row = append(row, "-")
+				continue
+			}
+			lmt := dynamic.Limits{W: 32, Alpha: alpha, Beta: beta}
+			advG := dynamic.NewUniformAdversary(p, lmt, cfg.Seed)
+			mg := newBSPg(p, g, l, cfg.Seed)
+			rg := dynamic.RunBSPgInterval(mg, advG, lmt, windows)
+			advM := dynamic.NewUniformAdversary(p, lmt, cfg.Seed)
+			mb := newBSPmExp(p, mm, l, cfg.Seed)
+			rm := dynamic.RunAlgorithmB(mb, advM, lmt, windows, 0.25)
+			cell := verdictChar(rg.LooksStable()) + "/" + verdictChar(rm.LooksStable())
+			row = append(row, cell+" (g/m)")
+		}
+		t.Row(row...)
+	}
+	emit(w, cfg, t)
+
+	t2 := tablefmt.New("single-target flows across the β axis (the Theorem 6.5 witness)",
+		"β", "BSP(g) verdict", "BSP(m) verdict")
+	for _, beta := range []float64{0.0625, 0.125, 0.25, 0.5, 1.0} {
+		lmt := dynamic.Limits{W: 32, Alpha: beta, Beta: beta}
+		adv := dynamic.SingleTargetAdversary{L: lmt}
+		mg := newBSPg(p, g, l, cfg.Seed)
+		rg := dynamic.RunBSPgInterval(mg, adv, lmt, windows)
+		mb := newBSPmExp(p, mm, l, cfg.Seed)
+		rm := dynamic.RunAlgorithmB(mb, adv, lmt, windows, 0.25)
+		t2.Row(beta, stableStr(rg.LooksStable()), stableStr(rm.LooksStable()))
+	}
+	emit(w, cfg, t2)
+}
+
+func verdictChar(stable bool) string {
+	if stable {
+		return "S"
+	}
+	return "U"
+}
+
+func runPipeline(w io.Writer, cfg Config) {
+	p, l := pick(cfg, 256, 64), 4
+	t := tablefmt.New("k-item pipelined broadcast: pipelined vs k sequential broadcasts",
+		"model", "k", "pipelined", "sequential", "speedup")
+	for _, k := range pick(cfg, []int{8, 32, 128}, []int{8}) {
+		for _, global := range []bool{false, true} {
+			vec := make([]int64, k)
+			var pipe, seq float64
+			var name string
+			if global {
+				name = "BSP(m=32)"
+				mp := newBSPmL(p, 32, l, cfg.Seed)
+				collectiveBroadcastVec(mp, vec)
+				pipe = mp.Time()
+				msq := newBSPmL(p, 32, l, cfg.Seed)
+				for j := 0; j < k; j++ {
+					collectiveBroadcast(msq, int64(j))
+				}
+				seq = msq.Time()
+			} else {
+				name = "BSP(g=8)"
+				mp := newBSPg(p, 8, l, cfg.Seed)
+				collectiveBroadcastVec(mp, vec)
+				pipe = mp.Time()
+				msq := newBSPg(p, 8, l, cfg.Seed)
+				for j := 0; j < k; j++ {
+					collectiveBroadcast(msq, int64(j))
+				}
+				seq = msq.Time()
+			}
+			t.Row(name, k, pipe, seq, seq/pipe)
+		}
+	}
+	emit(w, cfg, t)
+}
+
+// modelCost aliases keep extexp.go's helper signatures short.
+type modelCost = model.Cost
+
+func qsmmExpCost(mm int) model.Cost { return model.QSMm(mm) }
+
+func qsmmLinCost(mm int) model.Cost {
+	c := model.QSMm(mm)
+	c.Penalty = model.LinearPenalty
+	return c
+}
+
+func collectiveBroadcastVec(m *bsp.Machine, vec []int64) { collective.BroadcastVecBSP(m, 0, vec) }
+func collectiveBroadcast(m *bsp.Machine, v int64)        { collective.BroadcastBSP(m, 0, v) }
+
+func init() {
+	register(Experiment{
+		ID:     "ablation/sort",
+		Title:  "Sorting: splitter-free columnsort vs sample sort across n/p",
+		Source: "DESIGN.md ablation; Table 1 row 5 machinery",
+		Run:    runSortAblation,
+	})
+	register(Experiment{
+		ID:     "sched/template",
+		Title:  "Template schedules: enforced separation between a processor's sends",
+		Source: "Section 6.1 closing remark (sending-pattern templates)",
+		Run:    runTemplate,
+	})
+}
+
+func runSortAblation(w io.Writer, cfg Config) {
+	// depth1Q returns the largest power-of-two sorter count admitting a
+	// depth-1 columnsort (the favourable shape).
+	depth1Q := func(n, p int) int {
+		q := 1
+		for q*2 <= p && q*2 <= n && n/(q*2) >= 2*(q*2-1)*(q*2-1) {
+			q *= 2
+		}
+		return q
+	}
+
+	// Regime 1: n ≫ p. Sample sort's p² splitter traffic amortizes and its
+	// single routing round beats columnsort's 8-step schedule.
+	p, mm, l := 32, 8, 2
+	t := tablefmt.New("n ≫ p regime: columnsort vs sample sort on BSP(m=8), p=32",
+		"n", "n/p", "columnsort", "sample sort", "winner")
+	for _, n := range pick(cfg, []int{1024, 4096, 16384}, []int{256, 1024}) {
+		rng := xrand.New(cfg.Seed)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Uint64() % 1000003)
+		}
+		q := depth1Q(n, p)
+		mc := newBSPmL(p, mm, l, cfg.Seed)
+		problemsColumnsort(mc, keys, q)
+		ms := newBSPmL(p, mm, l, cfg.Seed)
+		problemsSampleSort(ms, keys)
+		t.Row(n, n/p, mc.Time(), ms.Time(), sortWinner(mc.Time(), ms.Time()))
+	}
+	emit(w, cfg, t)
+
+	// Regime 2: n = p (Table 1). Every processor holds ONE key, so sample
+	// sort's splitter broadcast moves p·(p−1) words — Θ(p²/m) — while
+	// splitter-free columnsort stays near n/m. This is why the paper's
+	// sorting algorithm is columnsort.
+	t2 := tablefmt.New("n = p regime (Table 1): columnsort vs sample sort on BSP(m=8)",
+		"n = p", "columnsort", "sample sort", "samplesort/columnsort", "winner")
+	for _, n := range pick(cfg, []int{1024, 4096}, []int{512}) {
+		rng := xrand.New(cfg.Seed)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Uint64() % 1000003)
+		}
+		q := depth1Q(n, n)
+		mc := newBSPmL(n, mm, l, cfg.Seed)
+		problemsColumnsort(mc, keys, q)
+		ms := newBSPmL(n, mm, l, cfg.Seed)
+		problemsSampleSort(ms, keys)
+		t2.Row(n, mc.Time(), ms.Time(), ms.Time()/mc.Time(), sortWinner(mc.Time(), ms.Time()))
+	}
+	emit(w, cfg, t2)
+}
+
+func sortWinner(col, smp float64) string {
+	if smp < col {
+		return "sample sort"
+	}
+	return "columnsort"
+}
+
+func runTemplate(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 128, 32), pick(cfg, 32, 8), 4
+	rng := xrand.New(cfg.Seed)
+	plan := sched.ZipfPlan(rng, p, p*20, 1.0)
+	t := tablefmt.New("Unbalanced-Send with per-processor separation sep (zipf workload)",
+		"sep", "period", "measured", "offline opt", "maxslot", "overloads")
+	for _, sep := range []int{0, 1, 2, 4} {
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		r := sched.TemplateSend(m, plan, sep, sched.Options{Eps: 0.25})
+		t.Row(sep, r.Period, r.Time, r.OptimalOffline(mm, l), r.Send.MaxSlot, r.Send.Overload)
+	}
+	emit(w, cfg, t)
+}
+
+func problemsColumnsort(m *bsp.Machine, keys []int64, q int) { problems.ColumnsortBSP(m, keys, q) }
+func problemsSampleSort(m *bsp.Machine, keys []int64)        { problems.SampleSortBSP(m, keys, 8) }
+
+func init() {
+	register(Experiment{
+		ID:     "validate/channels",
+		Title:  "Grounding f^u: schedules on a concrete m-channel contention network",
+		Source: "Section 2 penalty discussion + Section 3 multiple-channel comparison",
+		Run:    runChannels,
+	})
+}
+
+func runChannels(w io.Writer, cfg Config) {
+	p := pick(cfg, 64, 32)
+	per := pick(cfg, 16, 8)
+	x := make([]int, p)
+	for i := range x {
+		x[i] = per
+	}
+	n := p * per
+	t := tablefmt.New("m-channel slotted-ALOHA network: paced vs burst vs backoff makespan (uniform x_i)",
+		"m", "n", "paced (ε=4)", "burst", "burst+backoff", "burst/paced", "n/(m/e) ideal")
+	for _, mm := range pick(cfg, []int{4, 8, 16}, []int{8}) {
+		rng := xrand.New(cfg.Seed)
+		eps := 4.0 // target load 0.2·m < ALOHA capacity m/e
+		paced := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
+			netsim.UnbalancedSchedule(rng, x, mm, eps))
+		burst := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
+			netsim.NaiveSchedule(x))
+		backoff := netsim.RunBackoff(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
+			netsim.NaiveSchedule(x), 10)
+		ideal := float64(n) / (float64(mm) / 2.718281828)
+		t.Row(mm, n, paced.Makespan, burst.Makespan, backoff.Makespan,
+			float64(burst.Makespan)/float64(paced.Makespan), ideal)
+	}
+	emit(w, cfg, t)
+
+	t2 := tablefmt.New("throughput collapse: expected deliveries/step vs contenders (m=8)",
+		"contenders k", "k/m", "E[deliveries] k(1−1/m)^{k−1}", "f^u charge e^{k/m−1}")
+	for _, k := range []int{2, 8, 16, 32, 64} {
+		t2.Row(k, float64(k)/8, netsim.ExpectedThroughput(k, 8), model.ExpPenalty(k, 8))
+	}
+	emit(w, cfg, t2)
+}
+
+func init() {
+	register(Experiment{
+		ID:     "ablation/combinetree",
+		Title:  "Combine-tree fan-in for the τ term: binary vs L-ary",
+		Source: "DESIGN.md ablation; τ = O(p/m + L + L·lg m/lg L)",
+		Run:    runCombineTree,
+	})
+	register(Experiment{
+		ID:     "ablation/wraparound",
+		Title:  "Cyclic (wraparound) vs consecutive slot assignment",
+		Source: "DESIGN.md ablation; Theorems 6.2 vs 6.3",
+		Run:    runWraparound,
+	})
+}
+
+func runCombineTree(w io.Writer, cfg Config) {
+	p := pick(cfg, 4096, 512)
+	t := tablefmt.New("reduction on BSP(m): τ vs tree fan-in d (L-ary is the paper's choice)",
+		"m", "L", "d=2", "d=4", "d=L", "L-ary speedup vs binary")
+	for _, ml := range [][2]int{{64, 16}, {256, 16}, {64, 64}} {
+		mm, l := ml[0], ml[1]
+		vals := make([]int64, p)
+		for i := range vals {
+			vals[i] = 1
+		}
+		run := func(d int) float64 {
+			m := newBSPmL(p, mm, l, cfg.Seed)
+			if got := collective.ReduceBSPDegree(m, vals, collective.Sum, d); got != int64(p) {
+				panic("harness: reduce wrong")
+			}
+			return m.Time()
+		}
+		d2, d4, dl := run(2), run(4), run(l)
+		t.Row(mm, l, d2, d4, dl, d2/dl)
+	}
+	emit(w, cfg, t)
+}
+
+func runWraparound(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 256, 64), pick(cfg, 32, 8), 4
+	t := tablefmt.New("wraparound (Thm 6.2) vs consecutive (Thm 6.3) slot assignment",
+		"workload", "wraparound time", "consecutive time", "consec/wrap", "wrap maxslot", "consec maxslot")
+	rng := xrand.New(cfg.Seed)
+	for _, name := range workloadOrder {
+		plan := workloads(rng, p, 16)[name]
+		mw := newBSPmExp(p, mm, l, cfg.Seed)
+		rw := sched.UnbalancedSend(mw, plan, sched.Options{Eps: 0.25})
+		mc := newBSPmExp(p, mm, l, cfg.Seed)
+		rc := sched.UnbalancedConsecutiveSend(mc, plan, sched.Options{Eps: 0.25})
+		t.Row(name, rw.Time, rc.Time, rc.Time/rw.Time, rw.Send.MaxSlot, rc.Send.MaxSlot)
+	}
+	emit(w, cfg, t)
+}
+
+func init() {
+	register(Experiment{
+		ID:     "async/backpressure",
+		Title:  "Asynchronous BSP(m): flow control replaces explicit scheduling",
+		Source: "Section 1 remark (\"many of our results extend to more asynchronous models\")",
+		Run:    runAsync,
+	})
+}
+
+func runAsync(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 128, 32), 16, 4
+	per := pick(cfg, 32, 8)
+	t := tablefmt.New("the same oblivious burst on three machines (uniform, per-proc load)",
+		"machine", "completion", "x-of-offline-bound")
+	n := p * per
+
+	// 1. Bulk-synchronous BSP(m) with exponential penalty, naive injection.
+	plan := make(sched.Plan, p)
+	for i := range plan {
+		for k := 0; k < per; k++ {
+			plan[i] = append(plan[i], bsp.Msg{Dst: int32((i + 1 + k) % p)})
+		}
+	}
+	mb := newBSPmExp(p, mm, l, cfg.Seed)
+	rNaive := sched.NaiveSend(mb, plan)
+	opt := rNaive.OptimalOffline(mm, l)
+	t.Row("bulk-sync naive (f^u)", rNaive.Time, rNaive.Time/opt)
+
+	// 2. Bulk-synchronous BSP(m) with Unbalanced-Send.
+	ms := newBSPmExp(p, mm, l, cfg.Seed)
+	rSched := sched.UnbalancedSend(ms, plan, sched.Options{Eps: 0.25, KnownN: n})
+	t.Row("bulk-sync Unbalanced-Send", rSched.Time, rSched.Time/opt)
+
+	// 3. Asynchronous machine with token-bucket backpressure, naive
+	// injection: the flow control self-schedules.
+	ma := async.New(async.Config{P: p, M: mm, Latency: float64(l), Buffer: n})
+	done := ma.Run(func(pr *async.Proc) {
+		for k := 0; k < per; k++ {
+			pr.Send((pr.ID()+1+k)%p, int64(k))
+		}
+		for k := 0; k < per; k++ {
+			pr.Recv()
+		}
+	})
+	t.Row("async naive (backpressure)", done, done/opt)
+	emit(w, cfg, t)
+}

@@ -1,0 +1,83 @@
+// Package harness defines the experiment registry that regenerates every
+// table and quantitative claim of the paper: the five Table 1 rows, the
+// Section 4.2 broadcast lower bound, the Section 5 concurrent-read results,
+// the Section 6.1 scheduling theorems, the Section 6.2 dynamic routing
+// theorems, and the ablations called out in DESIGN.md.
+//
+// Each experiment prints one or more paper-style tables with measured
+// simulated time next to the paper's predicted bound and their ratio. The
+// bounds are asymptotic, so a reproduction is judged on shape: ratios that
+// stay roughly flat across a sweep, and "who wins" agreeing with the paper.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Seed  uint64
+	Quick bool // smaller sweeps (used by tests and -quick)
+	CSV   bool // emit CSV instead of aligned tables
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID     string // harness id, e.g. "table1/broadcast"
+	Title  string
+	Source string // where in the paper it comes from
+	Run    func(w io.Writer, cfg Config)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(w io.Writer, cfg Config) {
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
+		e.Run(w, cfg)
+	}
+}
+
+// pick returns full unless cfg.Quick, then quick.
+func pick[T any](cfg Config, full, quick T) T {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+// emit renders a table per cfg.
+type stringerTable interface {
+	String() string
+	CSV() string
+}
+
+func emit(w io.Writer, cfg Config, t stringerTable) {
+	if cfg.CSV {
+		fmt.Fprint(w, t.CSV())
+	} else {
+		fmt.Fprintln(w, t.String())
+	}
+}

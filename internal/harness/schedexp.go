@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"io"
+
+	"parbw/internal/bsp"
+	"parbw/internal/lower"
+	"parbw/internal/model"
+	"parbw/internal/sched"
+	"parbw/internal/tablefmt"
+	"parbw/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "sched/static",
+		Title:  "Unbalanced-Send on skewed h-relations",
+		Source: "Theorem 6.2 and Proposition 6.1",
+		Run:    runSchedStatic,
+	})
+	register(Experiment{
+		ID:     "sched/consecutive",
+		Title:  "Unbalanced-Consecutive-Send",
+		Source: "Theorem 6.3",
+		Run:    runSchedConsecutive,
+	})
+	register(Experiment{
+		ID:     "sched/granular",
+		Title:  "Unbalanced-Granular-Send",
+		Source: "Theorem 6.4",
+		Run:    runSchedGranular,
+	})
+	register(Experiment{
+		ID:     "sched/flits",
+		Title:  "Long messages (consecutive flits) and per-message overhead o",
+		Source: "Section 6.1 (final remarks)",
+		Run:    runSchedFlits,
+	})
+	register(Experiment{
+		ID:     "sched/selfsched",
+		Title:  "Self-scheduling BSP(m) realized on the BSP(m)",
+		Source: "Section 2 (simplified cost metric) + Theorem 6.2",
+		Run:    runSelfSched,
+	})
+	register(Experiment{
+		ID:     "ablation/penalty",
+		Title:  "Value of scheduling under linear vs exponential penalty",
+		Source: "DESIGN.md ablation; Section 2 penalty discussion",
+		Run:    runPenaltyAblation,
+	})
+	register(Experiment{
+		ID:     "ablation/eps",
+		Title:  "ε sweep: overload probability vs schedule slack",
+		Source: "Theorem 6.2's Chernoff analysis",
+		Run:    runEpsAblation,
+	})
+}
+
+// workloads returns the named skew shapes of Section 6's motivation.
+func workloads(rng *xrand.Source, p, scale int) map[string]sched.Plan {
+	return map[string]sched.Plan{
+		"uniform":  sched.UniformPlan(rng, p, scale),
+		"zipf":     sched.ZipfPlan(rng, p, p*scale, 1.2),
+		"halfhalf": sched.HalfHalfPlan(rng, p, 2*scale, scale/4+1),
+		"point":    sched.PointPlan(p, p*scale/4),
+	}
+}
+
+var workloadOrder = []string{"uniform", "zipf", "halfhalf", "point"}
+
+func runSchedStatic(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 256, 64), pick(cfg, 64, 16), 8
+	g := p / mm
+	eps := 0.25
+	rng := xrand.New(cfg.Seed)
+	t := tablefmt.New("Unbalanced-Send vs offline optimum and BSP(g) (p=256, m=64, exp penalty)",
+		"workload", "n", "x̄", "ȳ", "measured", "offline opt", "Thm6.2 bound", "BSP(g) Θ(g(x̄+ȳ))", "maxslot", "overloads")
+	for _, name := range workloadOrder {
+		plan := workloads(rng, p, 16)[name]
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		r := sched.UnbalancedSend(m, plan, sched.Options{Eps: eps})
+		opt := r.OptimalOffline(mm, l)
+		bound := lower.UnbalancedSendBound(r.N, r.XBar, r.YBar, p, mm, l, eps)
+		bspg := lower.RoutingBSPg(r.XBar, r.YBar, g, l)
+		t.Row(name, r.N, r.XBar, r.YBar, r.Time, opt, bound, bspg, r.Send.MaxSlot, r.Send.Overload)
+	}
+	emit(w, cfg, t)
+}
+
+func runSchedConsecutive(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 256, 64), pick(cfg, 32, 8), 4
+	eps := 0.25
+	rng := xrand.New(cfg.Seed)
+	t := tablefmt.New("Unbalanced-Consecutive-Send (all flits of a sender contiguous)",
+		"workload", "n", "x̄", "measured", "Thm6.3 bound", "maxslot", "overloads")
+	for _, name := range workloadOrder {
+		plan := workloads(rng, p, 8)[name]
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		r := sched.UnbalancedConsecutiveSend(m, plan, sched.Options{Eps: eps})
+		// x̄' = max over non-overloaded senders; conservatively x̄.
+		bound := lower.ConsecutiveSendBound(r.N, r.XBar, minInt(r.XBar, r.Period), r.YBar, p, mm, l, eps)
+		t.Row(name, r.N, r.XBar, r.Time, bound, r.Send.MaxSlot, r.Send.Overload)
+	}
+	emit(w, cfg, t)
+}
+
+func runSchedGranular(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 512, 128), pick(cfg, 16, 8), 4
+	rng := xrand.New(cfg.Seed)
+	t := tablefmt.New("Unbalanced-Granular-Send (granularity t' = n/p, period c·n/m, c=4)",
+		"workload", "n", "t'", "measured", "c·n/m + x̄", "maxslot", "overloads")
+	for _, name := range workloadOrder {
+		plan := workloads(rng, p, 8)[name]
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		r := sched.UnbalancedGranularSend(m, plan, sched.Options{GranularC: 4})
+		tg := r.N / p
+		if tg < 1 {
+			tg = 1
+		}
+		bound := 4*float64(r.N)/float64(mm) + float64(r.XBar) + r.Tau
+		t.Row(name, r.N, tg, r.Time, bound, r.Send.MaxSlot, r.Send.Overload)
+	}
+	emit(w, cfg, t)
+}
+
+func runSchedFlits(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 128, 32), pick(cfg, 32, 8), 4
+	eps := 0.25
+	rng := xrand.New(cfg.Seed)
+	base := sched.UnbalancedExchangePlan(rng, p, 6) // lengths 1..6
+	t := tablefmt.New("long messages and startup overhead o (unbalanced total exchange, ℓ ≤ 6)",
+		"o", "n (flits)", "ℓ̂", "measured", "(1+ε)(1+o/ℓ̄)n/m + ℓ̂ + o + τ")
+	_, n0, _ := base.Flits(p)
+	msgs := 0
+	for _, ms := range base {
+		msgs += len(ms)
+	}
+	lbar := float64(n0) / float64(msgs)
+	for _, o := range []int{0, 1, 2, 4, 8} {
+		plan := base.WithOverhead(o)
+		m := newBSPmExp(p, mm, l, cfg.Seed)
+		r := sched.UnbalancedSend(m, plan, sched.Options{Eps: eps})
+		lhat := plan.MaxLen()
+		bound := (1+eps)*(1+float64(o)/lbar)*float64(n0)/float64(mm) +
+			float64(lhat) + float64(o) + r.Tau
+		t.Row(o, r.N, lhat, r.Time, bound)
+	}
+	emit(w, cfg, t)
+}
+
+func runSelfSched(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 256, 64), pick(cfg, 64, 16), 4
+	eps := 0.25
+	rng := xrand.New(cfg.Seed)
+	t := tablefmt.New("self-scheduling BSP(m) metric vs realized BSP(m) schedule",
+		"workload", "self-sched time", "BSP(m) measured", "ratio", "(1+ε) target")
+	for _, name := range workloadOrder {
+		plan := workloads(rng, p, 16)[name]
+		ss := bsp.New(bsp.Config{P: p, Cost: model.BSPSelfSched(mm, l), Seed: cfg.Seed})
+		ssr := sched.NaiveSend(ss, plan) // metric ignores injection times
+		real := newBSPmExp(p, mm, l, cfg.Seed)
+		rr := sched.UnbalancedSend(real, plan, sched.Options{Eps: eps, KnownN: ssr.N})
+		t.Row(name, ssr.Time, rr.Time, rr.Time/ssr.Time, 1+eps)
+	}
+	emit(w, cfg, t)
+}
+
+func runPenaltyAblation(w io.Writer, cfg Config) {
+	p, mm, l := pick(cfg, 256, 64), pick(cfg, 16, 8), 4
+	rng := xrand.New(cfg.Seed)
+	plan := sched.UniformPlan(rng, p, 32)
+	t := tablefmt.New("naive (all inject at step 0) vs Unbalanced-Send under both penalties",
+		"penalty", "naive time", "scheduled time", "naive/scheduled")
+	type pen struct {
+		name string
+		mk   func() *bsp.Machine
+	}
+	for _, pc := range []pen{
+		{"linear f^ℓ", func() *bsp.Machine { return newBSPmL(p, mm, l, cfg.Seed) }},
+		{"exponential f^u", func() *bsp.Machine { return newBSPmExp(p, mm, l, cfg.Seed) }},
+	} {
+		naive := sched.NaiveSend(pc.mk(), plan)
+		schd := sched.UnbalancedSend(pc.mk(), plan, sched.Options{Eps: 0.25})
+		t.Row(pc.name, naive.Time, schd.Time, naive.Time/schd.Time)
+	}
+	emit(w, cfg, t)
+}
+
+func runEpsAblation(w io.Writer, cfg Config) {
+	p, l := pick(cfg, 256, 64), 4
+	rng := xrand.New(cfg.Seed)
+	t := tablefmt.New("ε sweep: slack vs overload (zipf workload, exp penalty)",
+		"m", "ε", "period", "measured", "offline opt", "maxslot", "overloads")
+	for _, mm := range pick(cfg, []int{16, 64}, []int{16}) {
+		plan := sched.ZipfPlan(rng, p, p*16, 1.1)
+		for _, eps := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+			m := newBSPmExp(p, mm, l, cfg.Seed)
+			r := sched.UnbalancedSend(m, plan, sched.Options{Eps: eps})
+			t.Row(mm, eps, r.Period, r.Time, r.OptimalOffline(mm, l), r.Send.MaxSlot, r.Send.Overload)
+		}
+	}
+	emit(w, cfg, t)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

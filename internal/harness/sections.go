@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"io"
+
+	"parbw/internal/bsp"
+	"parbw/internal/collective"
+	"parbw/internal/emulate"
+	"parbw/internal/lower"
+	"parbw/internal/model"
+	"parbw/internal/pram"
+	"parbw/internal/problems"
+	"parbw/internal/qsm"
+	"parbw/internal/tablefmt"
+	"parbw/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "lb/broadcast",
+		Title:  "Broadcast lower bound vs the ternary non-receipt algorithm",
+		Source: "Theorem 4.1 and the Section 4.2 algorithm",
+		Run:    runBroadcastLB,
+	})
+	register(Experiment{
+		ID:     "lb/hrelation-crcw",
+		Title:  "Realizing h-relations on the CRCW PRAM in O(h)",
+		Source: "Section 4.1 (lower-bound conversion machinery)",
+		Run:    runHRelationCRCW,
+	})
+	register(Experiment{
+		ID:     "sim/crcw-pramm",
+		Title:  "Simulating a CRCW PRAM(m) read step on the QSM(m)",
+		Source: "Theorem 5.1",
+		Run:    runCRCWSim,
+	})
+	register(Experiment{
+		ID:     "sep/leader",
+		Title:  "Leader recognition: concurrent vs exclusive read",
+		Source: "Theorem 5.2 / Lemma 5.3",
+		Run:    runLeader,
+	})
+	register(Experiment{
+		ID:     "emul/group",
+		Title:  "Group emulation of BSP(g) supersteps on the BSP(m)",
+		Source: "Section 4 (grouping observation)",
+		Run:    runGroupEmul,
+	})
+}
+
+func newQSMmMem(p, mem int, c model.Cost, seed uint64) *qsm.Machine {
+	return qsm.New(qsm.Config{P: p, Mem: mem, Cost: c, Seed: seed})
+}
+
+func runBroadcastLB(w io.Writer, cfg Config) {
+	t := tablefmt.New("single-bit broadcast on BSP(g): ternary algorithm vs Theorem 4.1 lower bound",
+		"p", "g", "L", "ternary measured", "alg predicted g·⌈log3 p⌉", "Thm4.1 LB", "measured/LB")
+	ps := pick(cfg, []int{81, 729, 6561}, []int{27, 243})
+	for _, p := range ps {
+		for _, gl := range [][2]int{{8, 8}, {16, 8}, {32, 4}} {
+			g, l := gl[0], gl[1]
+			m := newBSPg(p, g, l, cfg.Seed)
+			collective.BroadcastTernaryBSPg(m, 1)
+			lb := lower.BroadcastLBBSPg(p, g, l)
+			pred := lower.BroadcastTernaryBSPg(p, g)
+			t.Row(p, g, l, m.Time(), pred, lb, m.Time()/lb)
+		}
+	}
+	emit(w, cfg, t)
+
+	t2 := tablefmt.New("tree broadcast vs Theorem 4.1 lower bound across L/g",
+		"p", "g", "L", "tree measured", "Thm4.1 LB", "measured/LB")
+	p := pick(cfg, 4096, 256)
+	for _, gl := range [][2]int{{1, 2}, {2, 8}, {4, 32}, {8, 128}} {
+		g, l := gl[0], gl[1]
+		m := newBSPg(p, g, l, cfg.Seed)
+		collective.BroadcastBSP(m, 0, 1)
+		lb := lower.BroadcastLBBSPg(p, g, l)
+		t2.Row(p, g, l, m.Time(), lb, m.Time()/lb)
+	}
+	emit(w, cfg, t2)
+}
+
+func runHRelationCRCW(w io.Writer, cfg Config) {
+	p := pick(cfg, 64, 16)
+	t := tablefmt.New("h-relation realization on Arbitrary-CRCW PRAM (p=64)",
+		"h (degree)", "rounds", "PRAM steps", "steps/h")
+	for _, h := range pick(cfg, []int{1, 2, 4, 8, 16, 32, 63}, []int{1, 4, 15}) {
+		// Each processor sends h messages to cyclically shifted targets, so
+		// every processor also receives exactly h: degree = h exactly.
+		plan := make([][]problems.HRelationMsg, p)
+		for i := range plan {
+			for j := 0; j < h && j < p; j++ {
+				plan[i] = append(plan[i], problems.HRelationMsg{Dst: (i + j + 1) % p, Val: int64(i*100 + j)})
+			}
+		}
+		deg := problems.HRelationDegree(plan)
+		m := pram.New(pram.Config{P: p, Mem: 2 * p, Mode: pram.CRCWArbitrary, Seed: cfg.Seed})
+		_, rounds := problems.HRelationCRCW(m, plan)
+		t.Row(deg, rounds, m.Time(), m.Time()/float64(deg))
+	}
+	emit(w, cfg, t)
+
+	// The two §4.1 routes: contention resolution O(h) vs sort-based
+	// O(lg p · lg(x̄p)). The crossover is the reason the paper gives both.
+	t2 := tablefmt.New("§4.1 routes compared: contention resolution vs sort-based (p=16, single hot target)",
+		"h", "contention steps", "radix-sort steps", "winner")
+	for _, h := range pick(cfg, []int{1, 4, 16, 64}, []int{1, 16}) {
+		plan := make([][]problems.HRelationMsg, 16)
+		for i := range plan {
+			for j := 0; j < h; j++ {
+				plan[i] = append(plan[i], problems.HRelationMsg{Dst: 0, Val: int64(i*100 + j)})
+			}
+		}
+		mc := pram.New(pram.Config{P: 16, Mem: 32, Mode: pram.CRCWArbitrary, Seed: cfg.Seed})
+		problems.HRelationCRCW(mc, plan)
+		ms := pram.New(pram.Config{P: 16 * h, Mem: 48 * h, Mode: pram.CRCWArbitrary, Seed: cfg.Seed})
+		problems.HRelationRadixCRCW(ms, plan)
+		winner := "contention"
+		if ms.Time() < mc.Time() {
+			winner = "radix sort"
+		}
+		t2.Row(h, mc.Time(), ms.Time(), winner)
+	}
+	emit(w, cfg, t2)
+}
+
+func runCRCWSim(w io.Writer, cfg Config) {
+	p := pick(cfg, 1024, 128)
+	cells := 64
+	t := tablefmt.New("one CRCW PRAM(m) read step on the QSM(m): measured vs Θ(p/m)",
+		"p", "m", "pattern", "measured", "p/m", "ratio")
+	for _, mm := range pick(cfg, []int{2, 4, 8, 16, 32}, []int{2, 8}) {
+		for _, pattern := range []string{"random", "all-same", "distinct"} {
+			pmKind := emulate.PRAMm{Base: p, MCells: cells}
+			mem := pmKind.Base + cells + 2*p + p + 8
+			c := model.QSMm(mm)
+			c.Penalty = model.LinearPenalty
+			m := newQSMmMem(p, mem, c, cfg.Seed)
+			rng := xrand.New(cfg.Seed + uint64(mm))
+			for a := 0; a < cells; a++ {
+				m.Store(pmKind.Base+a, int64(a*3+1))
+			}
+			addr := make([]int, p)
+			for i := range addr {
+				switch pattern {
+				case "random":
+					addr[i] = rng.Intn(cells)
+				case "all-same":
+					addr[i] = 7
+				case "distinct":
+					addr[i] = i % cells
+				}
+			}
+			pmKind.SimulateCRCWRead(m, addr)
+			pred := lower.SimSlowdownCRCWPRAMm(p, mm)
+			t.Row(p, mm, pattern, m.Time(), pred, m.Time()/pred)
+		}
+	}
+	emit(w, cfg, t)
+}
+
+func runLeader(w io.Writer, cfg Config) {
+	mm := 4
+	t := tablefmt.New("leader recognition, CR PRAM(m) vs ER PRAM(m) vs QSM(m) (m=4, w=64)",
+		"p", "CR steps", "ER steps", "QSM(m) time", "ER/CR", "paper separation Ω(p·lg m/(m·lg p))")
+	for _, p := range pick(cfg, []int{64, 256, 1024, 4096}, []int{64, 256}) {
+		leader := p / 3
+		cr := pram.New(pram.Config{P: p, Mem: mm, Mode: pram.CRCWArbitrary,
+			ROM: problems.LeaderInput(p, leader), Seed: cfg.Seed})
+		problems.LeaderCR(cr)
+		er := pram.New(pram.Config{P: p, Mem: mm, Mode: pram.EREW,
+			ROM: problems.LeaderInput(p, leader), Seed: cfg.Seed})
+		problems.LeaderER(er, mm)
+		qm := newQSMmMem(p, 3*p, qsmmLinCost(mm), cfg.Seed)
+		problems.LeaderQSM(qm, 2*p, leader)
+		sep := lower.SeparationERCR(p, mm)
+		t.Row(p, cr.Time(), er.Time(), qm.Time(), er.Time()/cr.Time(), sep)
+	}
+	emit(w, cfg, t)
+}
+
+func runGroupEmul(w io.Writer, cfg Config) {
+	p, l := pick(cfg, 256, 64), 8
+	t := tablefmt.New("h-relation superstep: BSP(g) vs group-emulated BSP(m), m=p/g",
+		"g", "h", "BSP(g) time", "BSP(m) emulated", "max slot load", "m")
+	for _, g := range []int{2, 4, 8, 16} {
+		for _, h := range []int{1, 4, 16} {
+			mBW := p / g
+			lg := newBSPg(p, g, l, cfg.Seed)
+			lg.Superstep(func(c *bsp.Ctx) {
+				for k := 0; k < h; k++ {
+					c.Send((c.ID()+k+1)%p, 0, 1)
+				}
+			})
+			gm := newBSPmExp(p, mBW, l, cfg.Seed)
+			st := emulate.RunGroupedBSP(gm, g, func(c *bsp.Ctx, send func(int, bsp.Msg)) {
+				for k := 0; k < h; k++ {
+					send((c.ID()+k+1)%p, bsp.Msg{A: 1})
+				}
+			})
+			t.Row(g, h, lg.Time(), gm.Time(), st.MaxSlot, mBW)
+		}
+	}
+	emit(w, cfg, t)
+}

@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"parbw/internal/bsp"
+	"parbw/internal/collective"
+	"parbw/internal/lower"
+	"parbw/internal/model"
+	"parbw/internal/problems"
+	"parbw/internal/qsm"
+	"parbw/internal/tablefmt"
+	"parbw/internal/xrand"
+)
+
+// Machine constructors for the standing Table 1 comparison: a locally
+// limited machine with gap g and its globally-limited counterpart with the
+// same aggregate bandwidth m = p/g.
+
+func newBSPg(p, g, l int, seed uint64) *bsp.Machine {
+	return bsp.New(bsp.Config{P: p, Cost: model.BSPg(g, l), Seed: seed})
+}
+
+func newBSPmL(p, m, l int, seed uint64) *bsp.Machine {
+	return bsp.New(bsp.Config{P: p, Cost: model.BSPmLinear(m, l), Seed: seed})
+}
+
+func newBSPmExp(p, m, l int, seed uint64) *bsp.Machine {
+	return bsp.New(bsp.Config{P: p, Cost: model.BSPm(m, l), Seed: seed})
+}
+
+func newQSMg(p, mem, g int, seed uint64) *qsm.Machine {
+	return qsm.New(qsm.Config{P: p, Mem: mem, Cost: model.QSMg(g), Seed: seed})
+}
+
+func newQSMmL(p, mem, m int, seed uint64) *qsm.Machine {
+	c := model.QSMm(m)
+	c.Penalty = model.LinearPenalty
+	return qsm.New(qsm.Config{P: p, Mem: mem, Cost: c, Seed: seed})
+}
+
+func init() {
+	register(Experiment{
+		ID:     "table1/onetoall",
+		Title:  "One-to-all personalized communication",
+		Source: "Table 1 row 1; Section 1 motivating example",
+		Run:    runOneToAll,
+	})
+	register(Experiment{
+		ID:     "table1/broadcast",
+		Title:  "Broadcasting one value to p processors",
+		Source: "Table 1 row 2",
+		Run:    runBroadcastRow,
+	})
+	register(Experiment{
+		ID:     "table1/parity",
+		Title:  "Parity and summation of n = p values",
+		Source: "Table 1 row 3",
+		Run:    runParityRow,
+	})
+	register(Experiment{
+		ID:     "table1/listrank",
+		Title:  "List ranking an n = p node list",
+		Source: "Table 1 row 4",
+		Run:    runListRankRow,
+	})
+	register(Experiment{
+		ID:     "table1/sort",
+		Title:  "Sorting n = p keys",
+		Source: "Table 1 row 5",
+		Run:    runSortRow,
+	})
+}
+
+func runOneToAll(w io.Writer, cfg Config) {
+	g, l := 16, 8
+	ps := pick(cfg, []int{256, 1024, 4096}, []int{64, 256})
+	t := tablefmt.New("one-to-all: measured vs predicted (g=16, m=p/g, L=8)",
+		"p", "model", "measured", "predicted", "ratio", "separation")
+	for _, p := range ps {
+		m := p / g
+		vals := make([]int64, p)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+
+		lb := newBSPg(p, g, l, cfg.Seed)
+		collective.OneToAllBSP(lb, 0, vals)
+		gb := newBSPmL(p, m, l, cfg.Seed)
+		collective.OneToAllBSP(gb, 0, vals)
+		predL := lower.OneToAllBSPg(p, g, l)
+		predG := lower.OneToAllBSPm(p, l)
+		t.Row(p, "BSP(g)", lb.Time(), predL, lb.Time()/predL, "")
+		t.Row(p, "BSP(m)", gb.Time(), predG, gb.Time()/predG,
+			ratioStr(lb.Time(), gb.Time()))
+
+		lq := newQSMg(p, 2*p, g, cfg.Seed)
+		collective.OneToAllQSM(lq, 0, vals)
+		gq := newQSMmL(p, 2*p, m, cfg.Seed)
+		collective.OneToAllQSM(gq, 0, vals)
+		t.Row(p, "QSM(g)", lq.Time(), lower.OneToAllQSMg(p, g),
+			lq.Time()/lower.OneToAllQSMg(p, g), "")
+		t.Row(p, "QSM(m)", gq.Time(), lower.OneToAllQSMm(p),
+			gq.Time()/lower.OneToAllQSMm(p), ratioStr(lq.Time(), gq.Time()))
+	}
+	emit(w, cfg, t)
+}
+
+func runBroadcastRow(w io.Writer, cfg Config) {
+	g, l := 8, 32
+	ps := pick(cfg, []int{256, 1024, 4096, 16384}, []int{64, 256})
+	t := tablefmt.New("broadcast: measured vs predicted (g=8, m=p/g, L=32)",
+		"p", "model", "measured", "predicted", "ratio", "separation")
+	for _, p := range ps {
+		m := p / g
+
+		lb := newBSPg(p, g, l, cfg.Seed)
+		collective.BroadcastBSP(lb, 0, 7)
+		gb := newBSPmL(p, m, l, cfg.Seed)
+		collective.BroadcastBSP(gb, 0, 7)
+		predL := lower.BroadcastBSPg(p, g, l)
+		predG := lower.BroadcastBSPm(p, m, l)
+		t.Row(p, "BSP(g)", lb.Time(), predL, lb.Time()/predL, "")
+		t.Row(p, "BSP(m)", gb.Time(), predG, gb.Time()/predG,
+			ratioStr(lb.Time(), gb.Time()))
+
+		lq := newQSMg(p, 2*p, g, cfg.Seed)
+		collective.BroadcastQSM(lq, 0, 7)
+		gq := newQSMmL(p, 2*p, m, cfg.Seed)
+		collective.BroadcastQSM(gq, 0, 7)
+		t.Row(p, "QSM(g)", lq.Time(), lower.BroadcastQSMg(p, g),
+			lq.Time()/lower.BroadcastQSMg(p, g), "")
+		t.Row(p, "QSM(m)", gq.Time(), lower.BroadcastQSMm(p, m),
+			gq.Time()/lower.BroadcastQSMm(p, m), ratioStr(lq.Time(), gq.Time()))
+	}
+	emit(w, cfg, t)
+}
+
+func runParityRow(w io.Writer, cfg Config) {
+	g, l := 16, 16
+	ps := pick(cfg, []int{256, 1024, 4096}, []int{64, 256})
+	t := tablefmt.New("parity of n=p bits: measured vs predicted (g=16, m=p/g, L=16)",
+		"n=p", "model", "measured", "predicted", "ratio", "separation")
+	for _, p := range ps {
+		m := p / g
+		rng := xrand.New(cfg.Seed)
+		bits := make([]int64, p)
+		for i := range bits {
+			bits[i] = int64(rng.Intn(2))
+		}
+
+		lb := newBSPg(p, g, l, cfg.Seed)
+		problems.ParityBSP(lb, bits)
+		gb := newBSPmL(p, m, l, cfg.Seed)
+		problems.ParityBSP(gb, bits)
+		predL := lower.ParityBSPg(p, g, l)
+		predG := lower.ParityBSPm(p, m, l)
+		t.Row(p, "BSP(g)", lb.Time(), predL, lb.Time()/predL, "")
+		t.Row(p, "BSP(m)", gb.Time(), predG, gb.Time()/predG,
+			ratioStr(lb.Time(), gb.Time()))
+
+		lq := newQSMg(p, 2*p, g, cfg.Seed)
+		problems.ParityQSM(lq, bits)
+		gq := newQSMmL(p, 2*p, m, cfg.Seed)
+		problems.ParityQSM(gq, bits)
+		predQL := lower.ParityQSMgLB(p, g) // lower bound for the weak model
+		predQG := lower.ParityQSMm(p, m)
+		t.Row(p, "QSM(g)", lq.Time(), predQL, lq.Time()/predQL, "")
+		t.Row(p, "QSM(m)", gq.Time(), predQG, gq.Time()/predQG,
+			ratioStr(lq.Time(), gq.Time()))
+	}
+	emit(w, cfg, t)
+}
+
+func runListRankRow(w io.Writer, cfg Config) {
+	// g ≫ L: the row-4 separation vanishes when the latency floor L
+	// dominates the per-round cost of both models.
+	g, l := 32, 2
+	ps := pick(cfg, []int{512, 1024, 2048}, []int{64, 128})
+	t := tablefmt.New("list ranking n=p nodes (contraction): measured vs predicted (g=32, m=p/g, L=2)",
+		"n=p", "model", "measured", "predicted", "ratio", "separation")
+	for _, p := range ps {
+		m := p / g
+		rng := xrand.New(cfg.Seed)
+		list := problems.RandomList(rng, p)
+
+		lb := newBSPg(p, g, l, cfg.Seed)
+		problems.ListRankContractBSP(lb, list)
+		gb := newBSPmL(p, m, l, cfg.Seed)
+		problems.ListRankContractBSP(gb, list)
+		predL := lower.ListRankLBg(p, g)
+		predG := lower.ListRankBSPm(p, m, l)
+		t.Row(p, "BSP(g)", lb.Time(), predL, lb.Time()/predL, "")
+		t.Row(p, "BSP(m)", gb.Time(), predG, gb.Time()/predG,
+			ratioStr(lb.Time(), gb.Time()))
+
+		lq := newQSMg(p, 3*p, g, cfg.Seed)
+		problems.ListRankContractQSM(lq, list)
+		gq := newQSMmL(p, 3*p, m, cfg.Seed)
+		problems.ListRankContractQSM(gq, list)
+		predQG := lower.ListRankQSMm(p, m)
+		t.Row(p, "QSM(g)", lq.Time(), predL, lq.Time()/predL, "")
+		t.Row(p, "QSM(m)", gq.Time(), predQG, gq.Time()/predQG,
+			ratioStr(lq.Time(), gq.Time()))
+	}
+	emit(w, cfg, t)
+}
+
+func runSortRow(w io.Writer, cfg Config) {
+	g, l := 16, 8
+	ps := pick(cfg, []int{512, 1024, 4096}, []int{128, 512})
+	t := tablefmt.New("sorting n=p keys (columnsort): measured vs predicted (g=16, m=p/g, L=8)",
+		"n=p", "model", "q", "measured", "predicted", "ratio", "separation")
+	for _, p := range ps {
+		m := p / g
+		// Sorter count: depth-1 columnsort shape (q ≈ (n/2)^{1/3}) so the
+		// recursion constant is fixed across the sweep.
+		q := 1
+		for q*2 <= p && p/(q*2) >= 2*(q*2-1)*(q*2-1) {
+			q *= 2
+		}
+		rng := xrand.New(cfg.Seed)
+		keys := make([]int64, p)
+		for i := range keys {
+			keys[i] = int64(rng.Uint64() % 1000003)
+		}
+
+		lb := newBSPg(p, g, l, cfg.Seed)
+		problems.ColumnsortBSP(lb, keys, q)
+		gb := newBSPmL(p, m, l, cfg.Seed)
+		problems.ColumnsortBSP(gb, keys, q)
+		predL := lower.SortLBg(p, g)
+		predG := lower.SortBSPm(p, m, l)
+		t.Row(p, "BSP(g)", q, lb.Time(), predL, lb.Time()/predL, "")
+		t.Row(p, "BSP(m)", q, gb.Time(), predG, gb.Time()/predG,
+			ratioStr(lb.Time(), gb.Time()))
+
+		lq := newQSMg(p, p, g, cfg.Seed)
+		problems.ColumnsortQSM(lq, keys, q)
+		gq := newQSMmL(p, p, m, cfg.Seed)
+		problems.ColumnsortQSM(gq, keys, q)
+		predQG := lower.SortQSMm(p, m)
+		t.Row(p, "QSM(g)", q, lq.Time(), predL, lq.Time()/predL, "")
+		t.Row(p, "QSM(m)", q, gq.Time(), predQG, gq.Time()/predQG,
+			ratioStr(lq.Time(), gq.Time()))
+	}
+	emit(w, cfg, t)
+}
+
+// ratioStr formats the local/global separation factor.
+func ratioStr(local, global float64) string {
+	if global == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", local/global)
+}
+
+func newBSPSelfSched(p, m, l int, seed uint64) *bsp.Machine {
+	return bsp.New(bsp.Config{P: p, Cost: model.BSPSelfSched(m, l), Seed: seed})
+}

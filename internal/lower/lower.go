@@ -1,0 +1,222 @@
+// Package lower provides the predicted time bounds of the paper — the
+// Table 1 rows, the broadcast lower bound of Theorem 4.1, the routing
+// bounds of Section 6 and the leader-recognition bounds of Section 5 — as
+// closed-form functions. The experiment harness evaluates these alongside
+// measured simulated times so EXPERIMENTS.md can report measured-vs-paper
+// shape for every row.
+//
+// All bounds are asymptotic in the paper; these functions drop the hidden
+// constants (i.e. they return the bound with constant 1) except where the
+// paper states a constant (Theorem 4.1's 1/2). Logarithms are base 2 and
+// clamped below at arguments of 2 so the formulas stay finite in degenerate
+// corners (g = 1, L = g, n < 4, ...).
+package lower
+
+import "math"
+
+// Lg is log₂ clamped to arguments >= 2 (so Lg(x) >= 1).
+func Lg(x float64) float64 {
+	if x < 2 {
+		x = 2
+	}
+	return math.Log2(x)
+}
+
+// LgLg is log₂ log₂ with the same clamping discipline.
+func LgLg(x float64) float64 { return Lg(Lg(x)) }
+
+// --- Table 1, row 1: one-to-all personalized communication ---
+
+// OneToAllQSMg is Θ(g·p).
+func OneToAllQSMg(p, g int) float64 { return float64(g) * float64(p) }
+
+// OneToAllQSMm is Θ(p).
+func OneToAllQSMm(p int) float64 { return float64(p) }
+
+// OneToAllBSPg is Θ(g·p + L).
+func OneToAllBSPg(p, g, l int) float64 { return float64(g)*float64(p) + float64(l) }
+
+// OneToAllBSPm is Θ(p + L).
+func OneToAllBSPm(p, l int) float64 { return float64(p) + float64(l) }
+
+// --- Table 1, row 2: broadcasting ---
+
+// BroadcastQSMg is Θ(g·lg p / lg g).
+func BroadcastQSMg(p, g int) float64 {
+	return float64(g) * Lg(float64(p)) / Lg(float64(g))
+}
+
+// BroadcastQSMm is Θ(lg m + p/m).
+func BroadcastQSMm(p, m int) float64 {
+	return Lg(float64(m)) + float64(p)/float64(m)
+}
+
+// BroadcastBSPg is Θ(L·lg p / lg(L/g)).
+func BroadcastBSPg(p, g, l int) float64 {
+	return float64(l) * Lg(float64(p)) / Lg(float64(l)/float64(g))
+}
+
+// BroadcastBSPm is O(L·lg m / lg L + p/m + L).
+func BroadcastBSPm(p, m, l int) float64 {
+	return float64(l)*Lg(float64(m))/Lg(float64(l)) + float64(p)/float64(m) + float64(l)
+}
+
+// BroadcastLBBSPg is Theorem 4.1's deterministic lower bound
+// L·lg p / (2·lg(2L/g + 1)) for broadcasting one bit on the BSP(g), with
+// non-receipt of messages permitted as an information channel.
+func BroadcastLBBSPg(p, g, l int) float64 {
+	return float64(l) * math.Log2(float64(p)) / (2 * math.Log2(2*float64(l)/float64(g)+1))
+}
+
+// BroadcastTernaryBSPg is the Section 4.2 non-receipt algorithm's time
+// g·⌈log₃ p⌉ (valid when L <= g).
+func BroadcastTernaryBSPg(p, g int) float64 {
+	// Guard the ceil against float error on exact powers of three.
+	return float64(g) * math.Ceil(math.Log(float64(p))/math.Log(3)-1e-9)
+}
+
+// --- Table 1, row 3: parity and summation (n = input size) ---
+
+// ParityQSMm is Θ(lg m + n/m).
+func ParityQSMm(n, m int) float64 { return Lg(float64(m)) + float64(n)/float64(m) }
+
+// ParityQSMgLB is the Beame–Håstad-derived Ω(g·lg n / lg lg n).
+func ParityQSMgLB(n, g int) float64 {
+	return float64(g) * Lg(float64(n)) / LgLg(float64(n))
+}
+
+// ParityBSPm is O(L·lg m / lg L + n/m + L).
+func ParityBSPm(n, m, l int) float64 {
+	return float64(l)*Lg(float64(m))/Lg(float64(l)) + float64(n)/float64(m) + float64(l)
+}
+
+// ParityBSPg is Θ(L·lg n / lg(L/g)).
+func ParityBSPg(n, g, l int) float64 {
+	return float64(l) * Lg(float64(n)) / Lg(float64(l)/float64(g))
+}
+
+// --- Table 1, row 4: list ranking ---
+
+// ListRankQSMm is O(lg m + n/m).
+func ListRankQSMm(n, m int) float64 { return Lg(float64(m)) + float64(n)/float64(m) }
+
+// ListRankBSPm is O(L·lg m + n/m).
+func ListRankBSPm(n, m, l int) float64 {
+	return float64(l)*Lg(float64(m)) + float64(n)/float64(m)
+}
+
+// ListRankLBg is Ω(g·lg n / lg lg n), for both QSM(g) and BSP(g).
+func ListRankLBg(n, g int) float64 {
+	return float64(g) * Lg(float64(n)) / LgLg(float64(n))
+}
+
+// --- Table 1, row 5: sorting ---
+
+// SortQSMm is Θ(n/m) for m = O(n^{1-ε}).
+func SortQSMm(n, m int) float64 { return float64(n) / float64(m) }
+
+// SortBSPm is Θ(n/m + L) for m = O(n^{1-ε}).
+func SortBSPm(n, m, l int) float64 { return float64(n)/float64(m) + float64(l) }
+
+// SortLBg is Ω(g·lg n / lg lg n), for both QSM(g) and BSP(g).
+func SortLBg(n, g int) float64 {
+	return float64(g) * Lg(float64(n)) / LgLg(float64(n))
+}
+
+// --- Section 6: routing ---
+
+// RoutingBSPg is Proposition 6.1's Θ(g(x̄ + ȳ) + L).
+func RoutingBSPg(xbar, ybar, g, l int) float64 {
+	return float64(g)*float64(xbar+ybar) + float64(l)
+}
+
+// RoutingLBBSPm is the globally-limited routing lower bound
+// max(n/m, x̄, ȳ, L).
+func RoutingLBBSPm(n, xbar, ybar, m, l int) float64 {
+	t := float64(n) / float64(m)
+	for _, v := range []int{xbar, ybar, l} {
+		if f := float64(v); f > t {
+			t = f
+		}
+	}
+	return t
+}
+
+// Tau is the O(p/m + L + L·lg m / lg L) cost of computing and broadcasting
+// n on the BSP(m).
+func Tau(p, m, l int) float64 {
+	return float64(p)/float64(m) + float64(l) + float64(l)*Lg(float64(m))/Lg(float64(l))
+}
+
+// UnbalancedSendBound is Theorem 6.2's completion bound
+// max((1+ε)n/m, x̄, ȳ, L) + τ.
+func UnbalancedSendBound(n, xbar, ybar, p, m, l int, eps float64) float64 {
+	t := (1 + eps) * float64(n) / float64(m)
+	for _, v := range []int{xbar, ybar, l} {
+		if f := float64(v); f > t {
+			t = f
+		}
+	}
+	return t + Tau(p, m, l)
+}
+
+// ConsecutiveSendBound is Theorem 6.3's
+// max((1+ε)n/m + x̄', x̄, ȳ, L) + τ, where xbarPrime is the maximum flits
+// of a non-overloaded sender.
+func ConsecutiveSendBound(n, xbar, xbarPrime, ybar, p, m, l int, eps float64) float64 {
+	t := (1+eps)*float64(n)/float64(m) + float64(xbarPrime)
+	for _, v := range []int{xbar, ybar, l} {
+		if f := float64(v); f > t {
+			t = f
+		}
+	}
+	return t + Tau(p, m, l)
+}
+
+// --- Section 5: concurrent reads ---
+
+// SimSlowdownCRCWPRAMm is Theorem 5.1's O(p/m) per-step simulation cost of
+// the CRCW PRAM(m) on the QSM(m), for m = O(p^{1-ε}).
+func SimSlowdownCRCWPRAMm(p, m int) float64 { return float64(p) / float64(m) }
+
+// LeaderLBQSMm is Lemma 5.3's Ω(p·lg m / (m·w)) lower bound (constant 1/2
+// from Claim 5.4) for leader recognition on the QSM(m) or ER PRAM(m), even
+// with the input known in advance; w is the cell width in bits.
+func LeaderLBQSMm(p, m, w int) float64 {
+	return float64(p) * Lg(float64(m)) / (2 * float64(m) * float64(w))
+}
+
+// LeaderCRPRAMm is the CR PRAM(m) upper bound O(max(lg p / w, 1)).
+func LeaderCRPRAMm(p, w int) float64 {
+	t := Lg(float64(p)) / float64(w)
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// SeparationERCR is the Ω(p·lg m / (m·lg p)) exclusive-read versus
+// concurrent-read PRAM(m) separation (w = Θ(lg p) cells).
+func SeparationERCR(p, m int) float64 {
+	return float64(p) * Lg(float64(m)) / (float64(m) * Lg(float64(p)))
+}
+
+// --- Section 6.2: dynamic routing ---
+
+// BSPgStableBeta is the Theorem 6.5 threshold: the BSP(g) is stable iff the
+// local arrival rate β <= 1/g.
+func BSPgStableBeta(g int) float64 { return 1 / float64(g) }
+
+// BSPmStableRates returns Theorem 6.7's admissible rates (α <= m/a − m·u/(w·a),
+// β <= 1/b − u/(w·b)) for a scheduler A with completion max(a·n/m, b·x̄, b·ȳ).
+func BSPmStableRates(m, w, u int, a, b float64) (alpha, beta float64) {
+	alpha = float64(m)/a - float64(m)*float64(u)/(float64(w)*a)
+	beta = 1/b - float64(u)/(float64(w)*b)
+	return alpha, beta
+}
+
+// ExpectedServiceTime is the O(w²/u) expected service bound of Theorem 6.7
+// with the constant from Claim 6.8's M/G/1 analysis: 2.42·w²/u.
+func ExpectedServiceTime(w, u int) float64 {
+	return 2.42 * float64(w) * float64(w) / float64(u)
+}

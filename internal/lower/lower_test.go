@@ -1,0 +1,210 @@
+package lower
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLgClamps(t *testing.T) {
+	if Lg(1) != 1 || Lg(0) != 1 || Lg(-5) != 1 {
+		t.Fatal("Lg not clamped to 1")
+	}
+	if Lg(8) != 3 {
+		t.Fatalf("Lg(8) = %v", Lg(8))
+	}
+	if LgLg(65536) != 4 {
+		t.Fatalf("LgLg(65536) = %v", LgLg(65536))
+	}
+}
+
+func TestTable1Formulas(t *testing.T) {
+	// Spot values with hand arithmetic.
+	if OneToAllQSMg(100, 4) != 400 {
+		t.Fatal("OneToAllQSMg")
+	}
+	if OneToAllQSMm(100) != 100 {
+		t.Fatal("OneToAllQSMm")
+	}
+	if OneToAllBSPg(100, 4, 10) != 410 {
+		t.Fatal("OneToAllBSPg")
+	}
+	if OneToAllBSPm(100, 10) != 110 {
+		t.Fatal("OneToAllBSPm")
+	}
+	// Broadcast QSM(g): g·lg p / lg g = 4·10/2 = 20 for p=1024, g=4.
+	if got := BroadcastQSMg(1024, 4); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("BroadcastQSMg = %v", got)
+	}
+	// Broadcast QSM(m): lg m + p/m = 5 + 32 for p=1024, m=32.
+	if got := BroadcastQSMm(1024, 32); math.Abs(got-37) > 1e-9 {
+		t.Fatalf("BroadcastQSMm = %v", got)
+	}
+	// Parity QSM(m) equals broadcast shape at n=p.
+	if ParityQSMm(1024, 32) != BroadcastQSMm(1024, 32) {
+		t.Fatal("ParityQSMm shape")
+	}
+	if SortQSMm(1000, 10) != 100 {
+		t.Fatal("SortQSMm")
+	}
+	if SortBSPm(1000, 10, 7) != 107 {
+		t.Fatal("SortBSPm")
+	}
+}
+
+func TestRoutingBounds(t *testing.T) {
+	if RoutingBSPg(5, 9, 3, 2) != 3*14+2 {
+		t.Fatal("RoutingBSPg")
+	}
+	if RoutingLBBSPm(100, 3, 7, 10, 2) != 10 {
+		t.Fatalf("RoutingLBBSPm = %v", RoutingLBBSPm(100, 3, 7, 10, 2))
+	}
+	if RoutingLBBSPm(100, 30, 7, 10, 2) != 30 {
+		t.Fatal("RoutingLBBSPm x̄ branch")
+	}
+	if RoutingLBBSPm(10, 1, 1, 10, 9) != 9 {
+		t.Fatal("RoutingLBBSPm L branch")
+	}
+}
+
+// The local routing lower bound dominates the global one at matched
+// bandwidth (m = p/g) — the paper's core inequality
+// max(n/m, h) = max(g·n/p, h) <= g·h.
+func TestLocalDominatesGlobalRoutingBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := 64
+		g := 1 << (seed % 5)
+		m := p / g
+		xbar := 1 + int(seed%100)
+		ybar := 1 + int((seed>>8)%100)
+		n := xbar + ybar + int((seed>>16)%1000)
+		if n > p*xbar { // keep n consistent with x̄ (n <= p·x̄)
+			n = p * xbar
+		}
+		h := xbar
+		if ybar > h {
+			h = ybar
+		}
+		lb := RoutingLBBSPm(n, xbar, ybar, m, 1)
+		ub := RoutingBSPg(xbar, ybar, g, 1)
+		return lb <= ub+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastLB(t *testing.T) {
+	// Theorem 4.1 with p=81, g=8, L=8: L·lg p / (2·lg(2L/g+1)) =
+	// 8·6.34 / (2·lg 3) = 50.72/3.17 = 16.
+	got := BroadcastLBBSPg(81, 8, 8)
+	if math.Abs(got-16) > 0.01 {
+		t.Fatalf("BroadcastLBBSPg = %v, want 16", got)
+	}
+	// The ternary algorithm's time must beat no lower bound: alg >= LB.
+	if BroadcastTernaryBSPg(81, 8) < got {
+		t.Fatal("ternary algorithm below the lower bound")
+	}
+}
+
+func TestTernaryAlg(t *testing.T) {
+	if BroadcastTernaryBSPg(81, 8) != 32 { // 8·⌈log3 81⌉ = 8·4
+		t.Fatalf("ternary = %v", BroadcastTernaryBSPg(81, 8))
+	}
+	if BroadcastTernaryBSPg(82, 8) != 40 { // ceil kicks in
+		t.Fatalf("ternary ceil = %v", BroadcastTernaryBSPg(82, 8))
+	}
+}
+
+func TestSchedulingBounds(t *testing.T) {
+	// Unbalanced-Send bound: max((1+ε)n/m, x̄, ȳ, L) + τ.
+	b := UnbalancedSendBound(1000, 5, 7, 64, 10, 2, 0.25)
+	if b <= 125 || b < Tau(64, 10, 2) {
+		t.Fatalf("UnbalancedSendBound = %v", b)
+	}
+	// x̄-dominated case.
+	b2 := UnbalancedSendBound(10, 500, 7, 64, 10, 2, 0.25)
+	if b2 < 500 {
+		t.Fatalf("x̄ not dominating: %v", b2)
+	}
+	// Consecutive adds x̄' to the period term.
+	c := ConsecutiveSendBound(1000, 5, 80, 7, 64, 10, 2, 0.25)
+	if c <= UnbalancedSendBound(1000, 5, 7, 64, 10, 2, 0.25) {
+		t.Fatalf("consecutive bound %v not larger", c)
+	}
+}
+
+func TestTauShape(t *testing.T) {
+	// τ grows with p/m and with L.
+	if Tau(1024, 4, 2) <= Tau(1024, 64, 2) {
+		t.Fatal("τ not decreasing in m")
+	}
+	if Tau(64, 8, 32) <= Tau(64, 8, 2) {
+		t.Fatal("τ not increasing in L")
+	}
+}
+
+func TestLeaderBounds(t *testing.T) {
+	// Lemma 5.3 at p=1024, m=4, w=64: p·lg m/(2·m·w) = 1024·2/512 = 4.
+	if got := LeaderLBQSMm(1024, 4, 64); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("LeaderLBQSMm = %v", got)
+	}
+	if LeaderCRPRAMm(1024, 64) != 1 {
+		t.Fatal("LeaderCRPRAMm floor")
+	}
+	if LeaderCRPRAMm(1<<20, 2) != 10 {
+		t.Fatalf("LeaderCRPRAMm chunked = %v", LeaderCRPRAMm(1<<20, 2))
+	}
+	// Separation grows with p for fixed m.
+	if SeparationERCR(4096, 4) <= SeparationERCR(256, 4) {
+		t.Fatal("ER/CR separation not growing")
+	}
+}
+
+func TestDynamicBounds(t *testing.T) {
+	if BSPgStableBeta(8) != 0.125 {
+		t.Fatal("BSPgStableBeta")
+	}
+	alpha, beta := BSPmStableRates(16, 64, 8, 1.25, 1)
+	if alpha <= 0 || alpha >= 16 || beta <= 0 || beta > 1 {
+		t.Fatalf("BSPmStableRates = %v, %v", alpha, beta)
+	}
+	if ExpectedServiceTime(64, 16) != 2.42*64*64/16 {
+		t.Fatal("ExpectedServiceTime")
+	}
+}
+
+func TestSimSlowdown(t *testing.T) {
+	if SimSlowdownCRCWPRAMm(1024, 16) != 64 {
+		t.Fatal("SimSlowdownCRCWPRAMm")
+	}
+}
+
+// All bounds must be positive for sane parameters.
+func TestBoundsPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := 2 + int(seed%10000)
+		g := 1 + int(seed%64)
+		m := 1 + int((seed>>8)%256)
+		l := 1 + int((seed>>16)%128)
+		vals := []float64{
+			OneToAllQSMg(p, g), OneToAllQSMm(p), OneToAllBSPg(p, g, l),
+			OneToAllBSPm(p, l), BroadcastQSMg(p, g), BroadcastQSMm(p, m),
+			BroadcastBSPg(p, g, l), BroadcastBSPm(p, m, l),
+			BroadcastLBBSPg(p, g, l), ParityQSMm(p, m), ParityQSMgLB(p, g),
+			ParityBSPm(p, m, l), ParityBSPg(p, g, l), ListRankQSMm(p, m),
+			ListRankBSPm(p, m, l), ListRankLBg(p, g), SortQSMm(p, m),
+			SortBSPm(p, m, l), SortLBg(p, g), Tau(p, m, l),
+			LeaderLBQSMm(p, m, 64), LeaderCRPRAMm(p, 64), SeparationERCR(p, m),
+		}
+		for _, v := range vals {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package pram_test
+
+import (
+	"fmt"
+
+	"parbw/internal/pram"
+)
+
+// Example shows the PRAM(m) of Mansour, Nisan & Vishkin: p processors, m
+// shared cells, and a concurrently-readable ROM holding the input that
+// costs nothing to read — the feature that makes input distribution free in
+// that model (Section 5 of the paper).
+func Example() {
+	rom := []int64{0, 0, 0, 1, 0} // leader at index 3
+	m := pram.New(pram.Config{P: 5, Mem: 2, Mode: pram.CRCWArbitrary, ROM: rom, Seed: 1})
+	m.Step(func(c *pram.Ctx) {
+		if c.ReadROM(c.ID()) == 1 {
+			c.Write(0, int64(c.ID()))
+		}
+	})
+	var learned int64
+	m.Step(func(c *pram.Ctx) {
+		v := c.Read(0) // concurrent read: every processor may look
+		if c.ID() == 0 {
+			learned = v
+		}
+	})
+	fmt.Printf("leader %d found in %v steps\n", learned, m.Time())
+	// Output: leader 3 found in 2 steps
+}

@@ -1,0 +1,364 @@
+// Package pram simulates classical PRAM variants — EREW, QRQW, and CRCW with
+// the Common, Arbitrary, and Priority write-resolution rules — together with
+// the limited-bandwidth PRAM(m) of Mansour, Nisan & Vishkin, in which p
+// processors communicate through only m shared-memory cells and read the
+// problem input from a separate, concurrently-readable Read-Only Memory at
+// no bandwidth charge.
+//
+// Execution is lock-step: each Step runs every processor's program, in which
+// a processor may issue at most one shared-memory read and one shared-memory
+// write (reads observe the memory as of the start of the step; writes apply
+// at the end). A step costs one time unit on EREW and CRCW machines and
+// max(1, κ) on QRQW machines, where κ is the maximum per-cell queue. EREW
+// machines panic on any concurrent access, which is how the engine surfaces
+// algorithmic model violations.
+package pram
+
+import (
+	"fmt"
+
+	"parbw/internal/model"
+	"parbw/internal/workpool"
+	"parbw/internal/xrand"
+)
+
+// Mode selects the concurrency discipline of the shared memory.
+type Mode int
+
+const (
+	// EREW permits at most one access (read or write) per cell per step.
+	EREW Mode = iota
+	// QRQW queues concurrent accesses: a step costs the maximum queue length.
+	QRQW
+	// CRCWCommon permits concurrent access; concurrent writers must agree.
+	CRCWCommon
+	// CRCWArbitrary permits concurrent access; one writer arbitrarily wins
+	// (deterministically the highest-numbered processor in this engine).
+	CRCWArbitrary
+	// CRCWPriority permits concurrent access; the lowest-numbered writer wins.
+	CRCWPriority
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case QRQW:
+		return "QRQW"
+	case CRCWCommon:
+		return "CRCW-Common"
+	case CRCWArbitrary:
+		return "CRCW-Arbitrary"
+	case CRCWPriority:
+		return "CRCW-Priority"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Concurrent reports whether the mode allows concurrent access to a cell.
+func (m Mode) Concurrent() bool { return m != EREW }
+
+// Config configures a Machine.
+type Config struct {
+	P    int  // processors
+	Mem  int  // shared-memory cells; for PRAM(m) this is m
+	Mode Mode // memory discipline
+	// ROM, if non-nil, is the concurrently-readable read-only input memory
+	// of the PRAM(m) model. ROM reads are free of time and bandwidth charge.
+	ROM []int64
+	// CellBits is the word width w of a shared-memory cell, used by the
+	// bandwidth accounting of Section 5 (Theorem 5.2). Zero means 64.
+	CellBits int
+	Seed     uint64
+	Workers  int
+}
+
+// Stats describes one executed step.
+type Stats struct {
+	Reads  int        // total shared-memory reads
+	Writes int        // total shared-memory writes
+	Kappa  int        // maximum per-cell contention (reads or writes)
+	Active int        // processors that issued at least one access
+	Cost   model.Time // time charged: 1, or max(1, κ) on QRQW
+	Bits   int        // shared-memory bits moved: (Reads+Writes)·CellBits
+}
+
+// Machine is a lock-step PRAM. Methods must be called from a single driver
+// goroutine.
+type Machine struct {
+	p        int
+	mem      []int64
+	rom      []int64
+	mode     Mode
+	cellBits int
+	pool     *workpool.Pool
+	ctxs     []Ctx
+
+	time    model.Time
+	steps   int
+	romRead int
+	bits    int
+	last    Stats
+}
+
+// New constructs a Machine; it panics on invalid configuration.
+func New(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic("pram: P must be >= 1")
+	}
+	if cfg.Mem < 1 {
+		panic("pram: Mem must be >= 1")
+	}
+	bits := cfg.CellBits
+	if bits == 0 {
+		bits = 64
+	}
+	if bits < 1 {
+		panic("pram: CellBits must be >= 1")
+	}
+	m := &Machine{
+		p:        cfg.P,
+		mem:      make([]int64, cfg.Mem),
+		rom:      cfg.ROM,
+		mode:     cfg.Mode,
+		cellBits: bits,
+		pool:     workpool.New(cfg.Workers),
+		ctxs:     make([]Ctx, cfg.P),
+	}
+	root := xrand.New(cfg.Seed)
+	for i := range m.ctxs {
+		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
+	}
+	return m
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.p }
+
+// Mem returns the number of shared cells.
+func (m *Machine) Mem() int { return len(m.mem) }
+
+// Mode returns the machine's memory discipline.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// CellBits returns the shared-cell width in bits.
+func (m *Machine) CellBits() int { return m.cellBits }
+
+// Time returns accumulated simulated time.
+func (m *Machine) Time() model.Time { return m.time }
+
+// Steps returns the number of steps executed.
+func (m *Machine) Steps() int { return m.steps }
+
+// BitsMoved returns the total shared-memory bits read or written so far,
+// the quantity bounded below by Lemma 5.3's information argument.
+func (m *Machine) BitsMoved() int { return m.bits }
+
+// ROMReads returns the total number of ROM reads issued (uncharged).
+func (m *Machine) ROMReads() int { return m.romRead }
+
+// Last returns the Stats of the most recent step.
+func (m *Machine) Last() Stats { return m.last }
+
+// Load reads shared memory directly, free of charge (tests and drivers).
+func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
+
+// Store writes shared memory directly, free of charge (setup only).
+func (m *Machine) Store(addr int, val int64) { m.mem[addr] = val }
+
+// access is one buffered shared-memory operation.
+type access struct {
+	addr  int
+	val   int64
+	write bool
+	proc  int
+}
+
+// Ctx is the per-processor view of the current step.
+type Ctx struct {
+	id  int
+	m   *Machine
+	rng *xrand.Source
+
+	rd, wr  access
+	hasRd   bool
+	hasWr   bool
+	romHits int
+}
+
+// ID returns this processor's index.
+func (c *Ctx) ID() int { return c.id }
+
+// P returns the machine's processor count.
+func (c *Ctx) P() int { return c.m.p }
+
+// RNG returns this processor's private deterministic random source.
+func (c *Ctx) RNG() *xrand.Source { return c.rng }
+
+// Read returns the value addr held at the start of the step. At most one
+// shared-memory read per processor per step.
+func (c *Ctx) Read(addr int) int64 {
+	if c.hasRd {
+		panic(fmt.Sprintf("pram: proc %d issues two reads in one step", c.id))
+	}
+	if addr < 0 || addr >= len(c.m.mem) {
+		panic(fmt.Sprintf("pram: proc %d reads invalid cell %d (mem=%d)", c.id, addr, len(c.m.mem)))
+	}
+	c.hasRd = true
+	c.rd = access{addr: addr, proc: c.id}
+	return c.m.mem[addr]
+}
+
+// Write schedules a write of val to addr, applied at the end of the step.
+// At most one shared-memory write per processor per step.
+func (c *Ctx) Write(addr int, val int64) {
+	if c.hasWr {
+		panic(fmt.Sprintf("pram: proc %d issues two writes in one step", c.id))
+	}
+	if addr < 0 || addr >= len(c.m.mem) {
+		panic(fmt.Sprintf("pram: proc %d writes invalid cell %d (mem=%d)", c.id, addr, len(c.m.mem)))
+	}
+	c.hasWr = true
+	c.wr = access{addr: addr, val: val, write: true, proc: c.id}
+}
+
+// ReadROM returns ROM[addr]. ROM reads are concurrent and free: the PRAM(m)
+// model charges nothing for input distribution. It panics if the machine has
+// no ROM.
+func (c *Ctx) ReadROM(addr int) int64 {
+	if c.m.rom == nil {
+		panic("pram: machine has no ROM")
+	}
+	c.romHits++
+	return c.m.rom[addr]
+}
+
+// Step executes fn for every processor and then commits the step: reads are
+// validated against the mode, writes are resolved and applied, and the clock
+// advances. It returns the step's Stats.
+func (m *Machine) Step(fn func(c *Ctx)) Stats {
+	m.pool.For(m.p, func(i int) {
+		c := &m.ctxs[i]
+		c.hasRd, c.hasWr = false, false
+		c.romHits = 0
+		fn(c)
+	})
+	st := m.commit()
+	m.time += st.Cost
+	m.steps++
+	m.bits += st.Bits
+	m.last = st
+	return st
+}
+
+func (m *Machine) commit() Stats {
+	var st Stats
+	// Gather accesses in processor order (determinism).
+	var acc []access
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		if c.hasRd {
+			acc = append(acc, c.rd)
+			st.Reads++
+		}
+		if c.hasWr {
+			acc = append(acc, c.wr)
+			st.Writes++
+		}
+		if c.hasRd || c.hasWr {
+			st.Active++
+		}
+		m.romRead += c.romHits
+	}
+	// Contention per cell, separately for reads and writes (a cell that is
+	// both read and written in one step is CR+CW territory: permitted on
+	// CRCW — the read sees the old value — but an EREW violation).
+	rd := map[int]int{}
+	wr := map[int]int{}
+	for _, a := range acc {
+		if a.write {
+			wr[a.addr]++
+		} else {
+			rd[a.addr]++
+		}
+	}
+	for addr, n := range rd {
+		k := n
+		if wr[addr] > 0 && m.mode == EREW {
+			panic(fmt.Sprintf("pram: EREW cell %d read and written in one step", addr))
+		}
+		if k > st.Kappa {
+			st.Kappa = k
+		}
+	}
+	for _, n := range wr {
+		if n > st.Kappa {
+			st.Kappa = n
+		}
+	}
+	if m.mode == EREW && st.Kappa > 1 {
+		panic(fmt.Sprintf("pram: EREW contention %d", st.Kappa))
+	}
+
+	// Resolve writes.
+	switch m.mode {
+	case CRCWCommon:
+		seen := map[int]int64{}
+		for _, a := range acc {
+			if !a.write {
+				continue
+			}
+			if v, ok := seen[a.addr]; ok && v != a.val {
+				panic(fmt.Sprintf("pram: Common-CRCW writers disagree at cell %d (%d vs %d)", a.addr, v, a.val))
+			}
+			seen[a.addr] = a.val
+			m.mem[a.addr] = a.val
+		}
+	case CRCWPriority:
+		won := map[int]int{}
+		for _, a := range acc {
+			if !a.write {
+				continue
+			}
+			if w, ok := won[a.addr]; !ok || a.proc < w {
+				won[a.addr] = a.proc
+				m.mem[a.addr] = a.val
+			}
+		}
+	default: // EREW, QRQW, CRCWArbitrary: processor-order application;
+		// the highest-numbered writer wins (Arbitrary rule).
+		for _, a := range acc {
+			if a.write {
+				m.mem[a.addr] = a.val
+			}
+		}
+	}
+
+	st.Cost = 1
+	if m.mode == QRQW && st.Kappa > 1 {
+		st.Cost = model.Time(st.Kappa)
+	}
+	st.Bits = (st.Reads + st.Writes) * m.cellBits
+	return st
+}
+
+// Run executes fn for steps consecutive steps, passing the step index.
+func (m *Machine) Run(steps int, fn func(step int, c *Ctx)) {
+	for s := 0; s < steps; s++ {
+		m.Step(func(c *Ctx) { fn(s, c) })
+	}
+}
+
+// Reset zeroes shared memory and clears time, preserving RNG state and ROM.
+func (m *Machine) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.time = 0
+	m.steps = 0
+	m.bits = 0
+	m.romRead = 0
+	m.last = Stats{}
+}

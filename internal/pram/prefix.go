@@ -1,0 +1,70 @@
+package pram
+
+// PrefixSums computes, in place, the exclusive prefix sums of cells
+// [base, base+n) using cells [scratch, scratch+n) as a double buffer, by
+// the standard ⌈lg n⌉-round doubling network. It needs a machine with at
+// least n processors and a concurrent- or exclusive-read mode (the access
+// pattern is exclusive, so every mode works). Returns the total.
+//
+// Cost: 3·⌈lg n⌉ + 2 steps (each round: two reads and a write per active
+// processor, pipelined over three steps). This is the building block the
+// Section 4.1 lower-bound conversions take for granted on the CRCW PRAM.
+func PrefixSums(m *Machine, base, scratch, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if m.P() < n {
+		panic("pram: PrefixSums needs at least n processors")
+	}
+	if base+n > m.Mem() || scratch+n > m.Mem() {
+		panic("pram: PrefixSums buffers out of range")
+	}
+	// Inclusive doubling into alternating buffers.
+	cur, nxt := base, scratch
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for k := 1; k < n; k *= 2 {
+		kk := k
+		cc, nn := cur, nxt
+		m.Step(func(c *Ctx) {
+			v := c.ID()
+			if v < n {
+				a[v] = c.Read(cc + v)
+			}
+		})
+		m.Step(func(c *Ctx) {
+			v := c.ID()
+			if v >= kk && v < n {
+				b[v] = c.Read(cc + v - kk)
+			} else {
+				b[v] = 0
+			}
+		})
+		m.Step(func(c *Ctx) {
+			v := c.ID()
+			if v < n {
+				c.Write(nn+v, a[v]+b[v])
+			}
+		})
+		cur, nxt = nxt, cur
+	}
+	// Shift inclusive → exclusive back into [base, base+n); the last
+	// inclusive value is the total.
+	m.Step(func(c *Ctx) {
+		v := c.ID()
+		if v < n {
+			a[v] = c.Read(cur + v)
+		}
+	})
+	m.Step(func(c *Ctx) {
+		v := c.ID()
+		if v < n {
+			if v == 0 {
+				c.Write(base, 0)
+			} else {
+				c.Write(base+v, a[v-1])
+			}
+		}
+	})
+	return a[n-1]
+}

@@ -1,0 +1,88 @@
+package pram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parbw/internal/xrand"
+)
+
+func TestPrefixSums(t *testing.T) {
+	for _, mode := range []Mode{EREW, QRQW, CRCWArbitrary} {
+		for _, n := range []int{1, 2, 7, 16, 33} {
+			m := New(Config{P: n, Mem: 2*n + 4, Mode: mode, Seed: 1})
+			want := make([]int64, n)
+			var acc, tot int64
+			rng := xrand.New(uint64(n))
+			for i := 0; i < n; i++ {
+				v := int64(rng.Intn(20))
+				m.Store(i, v)
+				want[i] = acc
+				acc += v
+			}
+			tot = acc
+			got := PrefixSums(m, 0, n, n)
+			if got != tot {
+				t.Fatalf("mode %v n=%d: total %d, want %d", mode, n, got, tot)
+			}
+			for i := 0; i < n; i++ {
+				if m.Load(i) != want[i] {
+					t.Fatalf("mode %v n=%d: prefix[%d] = %d, want %d", mode, n, i, m.Load(i), want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixSumsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%50)
+		m := New(Config{P: n, Mem: 2 * n, Mode: EREW, Seed: seed})
+		var acc int64
+		want := make([]int64, n)
+		for i := 0; i < n; i++ {
+			v := int64((seed >> (i % 48)) & 0x7)
+			m.Store(i, v)
+			want[i] = acc
+			acc += v
+		}
+		if PrefixSums(m, 0, n, n) != acc {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if m.Load(i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSumsCostLogarithmic(t *testing.T) {
+	n := 256
+	m := New(Config{P: n, Mem: 2 * n, Mode: EREW, Seed: 1})
+	for i := 0; i < n; i++ {
+		m.Store(i, 1)
+	}
+	PrefixSums(m, 0, n, n)
+	// 3 steps per doubling round (8 rounds) + 2 shift steps.
+	if m.Time() > 3*8+2 {
+		t.Fatalf("prefix sums cost %v steps, want <= 26", m.Time())
+	}
+}
+
+func TestPrefixSumsValidation(t *testing.T) {
+	m := New(Config{P: 4, Mem: 8, Mode: EREW, Seed: 1})
+	if PrefixSums(m, 0, 4, 0) != 0 {
+		t.Fatal("n=0 should be a no-op returning 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range buffer accepted")
+		}
+	}()
+	PrefixSums(m, 6, 0, 4)
+}

@@ -1,0 +1,73 @@
+package problems_test
+
+import (
+	"fmt"
+
+	"parbw/internal/bsp"
+	"parbw/internal/model"
+	"parbw/internal/pram"
+	"parbw/internal/problems"
+	"parbw/internal/xrand"
+)
+
+// ExampleColumnsortBSP sorts keys on a bandwidth-limited machine with the
+// paper's splitter-free columnsort.
+func ExampleColumnsortBSP() {
+	m := bsp.New(bsp.Config{P: 16, Cost: model.BSPmLinear(4, 2), Seed: 1})
+	keys := []int64{9, 3, 7, 1, 8, 2, 6, 4, 5, 0, 15, 11, 13, 10, 14, 12}
+	sorted := problems.ColumnsortBSP(m, keys, 4)
+	fmt.Println(sorted[:8])
+	// Output: [0 1 2 3 4 5 6 7]
+}
+
+// ExampleListRankContractBSP ranks a linked list by randomized contraction —
+// Table 1 row 4's work-efficient algorithm.
+func ExampleListRankContractBSP() {
+	// The list 2 → 0 → 1 (node 1 is the tail).
+	list := problems.List{Succ: []int{1, -1, 0}}
+	m := bsp.New(bsp.Config{P: 3, Cost: model.BSPmLinear(2, 1), Seed: 1})
+	ranks := problems.ListRankContractBSP(m, list)
+	fmt.Println(ranks)
+	// Output: [1 0 2]
+}
+
+// ExampleLeaderCR solves leader recognition in O(1) steps with concurrent
+// read — against the Ω(p·lg m/(m·w)) exclusive-read lower bound.
+func ExampleLeaderCR() {
+	p := 32
+	m := pram.New(pram.Config{P: p, Mem: 4, Mode: pram.CRCWArbitrary,
+		ROM: problems.LeaderInput(p, 17), Seed: 1})
+	out := problems.LeaderCR(m)
+	fmt.Println(out[0], out[p-1], m.Time())
+	// Output: 17 17 2
+}
+
+// ExampleHRelationCRCW routes an h-relation on the CRCW PRAM in O(h)
+// contention-resolution rounds (Section 4.1).
+func ExampleHRelationCRCW() {
+	p := 4
+	plan := [][]problems.HRelationMsg{
+		{{Dst: 1, Val: 10}, {Dst: 2, Val: 20}},
+		{{Dst: 2, Val: 30}},
+		nil,
+		{{Dst: 0, Val: 40}},
+	}
+	m := pram.New(pram.Config{P: p, Mem: 2 * p, Mode: pram.CRCWArbitrary, Seed: 1})
+	out, rounds := problems.HRelationCRCW(m, plan)
+	fmt.Println(len(out[2]), rounds <= 2*problems.HRelationDegree(plan)+2)
+	// Output: 2 true
+}
+
+// ExampleSampleSortBSP sorts with the splitter-based alternative used in
+// the n ≫ p regime.
+func ExampleSampleSortBSP() {
+	m := bsp.New(bsp.Config{P: 4, Cost: model.BSPmLinear(2, 1), Seed: 1})
+	rng := xrand.New(2)
+	keys := make([]int64, 64)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(1000))
+	}
+	sorted := problems.SampleSortBSP(m, keys, 8)
+	fmt.Println(len(sorted), problems.IsSorted(sorted))
+	// Output: 64 true
+}

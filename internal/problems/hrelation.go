@@ -1,0 +1,147 @@
+package problems
+
+import (
+	"fmt"
+
+	"parbw/internal/pram"
+)
+
+// HRelation realization on a CRCW PRAM in O(h) time (Section 4.1).
+//
+// The paper's lower-bound conversion from the CRCW PRAM to the BSP(g) rests
+// on the fact that an h-relation (every processor sends and receives at most
+// h messages) can be realized on an Arbitrary-CRCW PRAM in O(h) steps. This
+// file implements the contention-resolution variant of the Section 4.1
+// construction: in each round every processor with a pending message writes
+// it (concurrently, Arbitrary winner) to its destination's slot cell; the
+// destination reads the winning message and acknowledges the winner, which
+// advances to its next message; the losers simply retry. Every contended
+// destination absorbs one message per round, so the number of rounds is at
+// most x̄ + ȳ <= 2h, and each round is three PRAM steps.
+
+// HRelationMsg is one message of an h-relation instance.
+type HRelationMsg struct {
+	Dst int
+	Val int64
+}
+
+// packHR packs (src, val) into one cell; val must fit 40 bits.
+func packHR(src int, val int64) int64 {
+	return int64(src)<<40 | (val & ((1 << 40) - 1))
+}
+
+func unpackHR(v int64) (src int, val int64) {
+	return int(v >> 40), v & ((1 << 40) - 1)
+}
+
+// HRelationCRCW delivers the given messages on an Arbitrary-CRCW machine
+// with at least 2p shared cells, returning the messages received by each
+// processor (in arrival order) and the number of contention rounds used.
+// Values must be non-negative and fit in 40 bits; processor indices in 23.
+func HRelationCRCW(m *pram.Machine, plan [][]HRelationMsg) ([][]HRelationMsg, int) {
+	if m.Mode() != pram.CRCWArbitrary {
+		panic("problems: HRelationCRCW needs an Arbitrary-CRCW machine")
+	}
+	p := m.P()
+	if len(plan) != p {
+		panic("problems: plan size mismatch")
+	}
+	if m.Mem() < 2*p {
+		panic("problems: HRelationCRCW needs Mem >= 2p")
+	}
+	pending := 0
+	for i, msgs := range plan {
+		for _, msg := range msgs {
+			if msg.Dst < 0 || msg.Dst >= p {
+				panic(fmt.Sprintf("problems: proc %d message to invalid dst %d", i, msg.Dst))
+			}
+			if msg.Val < 0 || msg.Val >= 1<<40 {
+				panic("problems: value out of 40-bit range")
+			}
+			pending++
+		}
+	}
+	// Cell layout: slot cell of dst d at 2d (pending message), ack cell at
+	// 2d+1 (src of the last absorbed message, +1 so 0 means none).
+	next := make([]int, p) // index of each sender's next unsent message
+	out := make([][]HRelationMsg, p)
+	lastSeen := make([]int64, p) // last slot value absorbed by each dst
+	rounds := 0
+	total := pending
+	for pending > 0 {
+		rounds++
+		if rounds > 2*total+5 {
+			panic("problems: h-relation failed to converge")
+		}
+		// Step 1: contenders write their current message to the slot cell.
+		m.Step(func(c *pram.Ctx) {
+			i := c.ID()
+			if next[i] < len(plan[i]) {
+				msg := plan[i][next[i]]
+				c.Write(2*msg.Dst, packHR(i, msg.Val)+1) // +1 so 0 = empty
+			}
+		})
+		// Step 2: destinations read their slot and publish the winner.
+		m.Step(func(c *pram.Ctx) {
+			d := c.ID()
+			v := c.Read(2 * d)
+			if v != 0 {
+				lastSeen[d] = v
+				src, _ := unpackHR(v - 1)
+				c.Write(2*d+1, int64(src)+1)
+			}
+		})
+		// Step 3: contenders read the ack; the winner advances.
+		won := make([]bool, p)
+		m.Step(func(c *pram.Ctx) {
+			i := c.ID()
+			if next[i] < len(plan[i]) {
+				msg := plan[i][next[i]]
+				if c.Read(2*msg.Dst+1) == int64(i)+1 {
+					won[i] = true
+				}
+			}
+		})
+		// Commit the round (driver bookkeeping of delivered messages).
+		for d := 0; d < p; d++ {
+			if lastSeen[d] != 0 {
+				_, val := unpackHR(lastSeen[d] - 1)
+				out[d] = append(out[d], HRelationMsg{Dst: d, Val: val})
+				lastSeen[d] = 0
+			}
+		}
+		for i := 0; i < p; i++ {
+			if won[i] {
+				next[i]++
+				pending--
+			}
+		}
+		// Clear slot and ack cells for the next round (one step: each
+		// destination resets its own two cells — two writes would exceed
+		// the one-write rule, so use two steps).
+		m.Step(func(c *pram.Ctx) { c.Write(2*c.ID(), 0) })
+		m.Step(func(c *pram.Ctx) { c.Write(2*c.ID()+1, 0) })
+	}
+	return out, rounds
+}
+
+// HRelationDegree returns h = max(x̄, ȳ) of a plan: the maximum number of
+// messages sent or received by any one processor.
+func HRelationDegree(plan [][]HRelationMsg) int {
+	recv := map[int]int{}
+	h := 0
+	for _, msgs := range plan {
+		if len(msgs) > h {
+			h = len(msgs)
+		}
+		for _, msg := range msgs {
+			recv[msg.Dst]++
+		}
+	}
+	for _, r := range recv {
+		if r > h {
+			h = r
+		}
+	}
+	return h
+}

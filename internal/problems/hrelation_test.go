@@ -1,0 +1,288 @@
+package problems
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parbw/internal/pram"
+	"parbw/internal/xrand"
+)
+
+func hrMachine(p int) *pram.Machine {
+	return pram.New(pram.Config{P: p, Mem: 2 * p, Mode: pram.CRCWArbitrary, Seed: 1})
+}
+
+// randomHRelation builds a plan where every processor sends up to h
+// messages and no processor receives more than h (rejection-free: it spreads
+// destinations round-robin from a random start).
+func randomHRelation(rng *xrand.Source, p, h int) [][]HRelationMsg {
+	plan := make([][]HRelationMsg, p)
+	for i := range plan {
+		k := rng.Intn(h + 1)
+		start := rng.Intn(p)
+		for j := 0; j < k; j++ {
+			plan[i] = append(plan[i], HRelationMsg{Dst: (start + j) % p, Val: int64(i*1000 + j)})
+		}
+	}
+	return plan
+}
+
+func receivedMultiset(out [][]HRelationMsg) []int64 {
+	var vals []int64
+	for _, msgs := range out {
+		for _, m := range msgs {
+			vals = append(vals, m.Val)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func plannedMultiset(plan [][]HRelationMsg) []int64 {
+	var vals []int64
+	for _, msgs := range plan {
+		for _, m := range msgs {
+			vals = append(vals, m.Val)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func TestHRelationDeliversAll(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := 4 + int(seed%13)
+		plan := randomHRelation(rng, p, 5)
+		m := hrMachine(p)
+		out, _ := HRelationCRCW(m, plan)
+		want := plannedMultiset(plan)
+		got := receivedMultiset(out)
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		// Destinations must match too.
+		for d, msgs := range out {
+			for _, msg := range msgs {
+				if msg.Dst != d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Section 4.1: the realization runs in O(h) rounds (each round a constant
+// number of PRAM steps).
+func TestHRelationLinearInH(t *testing.T) {
+	p := 32
+	for _, h := range []int{1, 4, 16, 31} {
+		// Worst case: everyone sends h messages to h distinct targets with
+		// maximum collision (all start at 0).
+		plan := make([][]HRelationMsg, p)
+		for i := range plan {
+			for j := 0; j < h; j++ {
+				plan[i] = append(plan[i], HRelationMsg{Dst: j, Val: int64(i*100 + j)})
+			}
+		}
+		hDeg := HRelationDegree(plan)
+		m := hrMachine(p)
+		_, rounds := HRelationCRCW(m, plan)
+		if rounds > 2*hDeg+2 {
+			t.Fatalf("h=%d (degree %d): %d rounds, want O(h)", h, hDeg, rounds)
+		}
+		// Each round is 5 PRAM steps in this implementation.
+		if m.Time() > float64(5*(2*hDeg+2)) {
+			t.Fatalf("h=%d: time %v not O(h)", h, m.Time())
+		}
+	}
+}
+
+func TestHRelationDegree(t *testing.T) {
+	plan := [][]HRelationMsg{
+		{{Dst: 1, Val: 1}, {Dst: 1, Val: 2}, {Dst: 0, Val: 3}},
+		{{Dst: 1, Val: 4}},
+	}
+	// x̄ = 3, ȳ(dst 1) = 3.
+	if got := HRelationDegree(plan); got != 3 {
+		t.Fatalf("degree = %d, want 3", got)
+	}
+}
+
+func TestHRelationEmptyPlan(t *testing.T) {
+	m := hrMachine(4)
+	out, rounds := HRelationCRCW(m, make([][]HRelationMsg, 4))
+	if rounds != 0 {
+		t.Fatalf("rounds = %d for empty plan", rounds)
+	}
+	for _, msgs := range out {
+		if len(msgs) != 0 {
+			t.Fatal("messages materialized from empty plan")
+		}
+	}
+}
+
+func TestHRelationSingleTargetContention(t *testing.T) {
+	// All p-1 processors send one message to processor 0: ȳ = p-1 rounds.
+	p := 16
+	plan := make([][]HRelationMsg, p)
+	for i := 1; i < p; i++ {
+		plan[i] = []HRelationMsg{{Dst: 0, Val: int64(i)}}
+	}
+	m := hrMachine(p)
+	out, rounds := HRelationCRCW(m, plan)
+	if len(out[0]) != p-1 {
+		t.Fatalf("proc 0 received %d messages, want %d", len(out[0]), p-1)
+	}
+	if rounds != p-1 {
+		t.Fatalf("rounds = %d, want %d (one absorption per round)", rounds, p-1)
+	}
+}
+
+func TestHRelationValidation(t *testing.T) {
+	for _, plan := range [][][]HRelationMsg{
+		{{{Dst: 9, Val: 1}}, nil, nil, nil},  // bad dst
+		{{{Dst: 0, Val: -1}}, nil, nil, nil}, // negative value
+		{nil, nil},                           // wrong size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid plan accepted")
+				}
+			}()
+			HRelationCRCW(hrMachine(4), plan)
+		}()
+	}
+}
+
+func TestHRelationWrongModePanics(t *testing.T) {
+	m := pram.New(pram.Config{P: 4, Mem: 8, Mode: pram.CRCWPriority, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-Arbitrary machine accepted")
+		}
+	}()
+	HRelationCRCW(m, make([][]HRelationMsg, 4))
+}
+
+func TestPackUnpackHR(t *testing.T) {
+	src, val := 12345, int64(987654321)
+	s, v := unpackHR(packHR(src, val))
+	if s != src || v != val {
+		t.Fatalf("roundtrip = (%d,%d), want (%d,%d)", s, v, src, val)
+	}
+}
+
+func radixMachine(p, xbar int) *pram.Machine {
+	n := p * xbar
+	return pram.New(pram.Config{P: n, Mem: 3 * n, Mode: pram.CRCWArbitrary, Seed: 1})
+}
+
+func TestHRelationRadixDeliversAll(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := 4 + int(seed%8)
+		plan := randomHRelation(rng, p, 4)
+		xbar := 0
+		for _, msgs := range plan {
+			if len(msgs) > xbar {
+				xbar = len(msgs)
+			}
+		}
+		if xbar == 0 {
+			xbar = 1
+		}
+		m := radixMachine(p, xbar)
+		out, _ := HRelationRadixCRCW(m, plan)
+		want := plannedMultiset(plan)
+		got := receivedMultiset(out)
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		for d, msgs := range out {
+			for _, msg := range msgs {
+				if msg.Dst != d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHRelationRadixEmpty(t *testing.T) {
+	m := radixMachine(4, 1)
+	out, steps := HRelationRadixCRCW(m, make([][]HRelationMsg, 4))
+	if steps != 0 {
+		t.Fatalf("steps = %d for empty plan", steps)
+	}
+	for _, msgs := range out {
+		if len(msgs) != 0 {
+			t.Fatal("messages from empty plan")
+		}
+	}
+}
+
+// The two §4.1 routes trade off: contention resolution is O(h) rounds,
+// sorting is O(lg p · lg n) independent of h — sorting must win for large
+// h, contention resolution for small h.
+func TestHRelationRouteCrossover(t *testing.T) {
+	p := 16
+	run := func(h int) (contSteps, sortSteps float64) {
+		plan := make([][]HRelationMsg, p)
+		for i := range plan {
+			for j := 0; j < h; j++ {
+				plan[i] = append(plan[i], HRelationMsg{Dst: 0, Val: int64(i*1000 + j)}) // max contention
+			}
+		}
+		mc := hrMachine(p)
+		HRelationCRCW(mc, plan)
+		ms := radixMachine(p, h)
+		HRelationRadixCRCW(ms, plan)
+		return mc.Time(), ms.Time()
+	}
+	c1, s1 := run(1)
+	if c1 >= s1 {
+		t.Fatalf("h=1: contention route (%v) should beat sorting (%v)", c1, s1)
+	}
+	c64, s64 := run(64)
+	if s64 >= c64 {
+		t.Fatalf("h=64: sorting route (%v) should beat contention resolution (%v)", s64, c64)
+	}
+}
+
+func TestHRelationRadixValidation(t *testing.T) {
+	m := radixMachine(2, 2)
+	for _, plan := range [][][]HRelationMsg{
+		{{{Dst: 5, Val: 1}}, nil},
+		{{{Dst: 0, Val: -2}}, nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid radix plan accepted")
+				}
+			}()
+			HRelationRadixCRCW(m, plan)
+		}()
+	}
+}

@@ -1,0 +1,488 @@
+package problems
+
+import (
+	"fmt"
+
+	"parbw/internal/bsp"
+	"parbw/internal/qsm"
+	"parbw/internal/xrand"
+)
+
+// List is a linked-list instance for list ranking: Succ[i] is the successor
+// of node i, or -1 if node i is the tail. One node lives on each processor
+// (n = p, the Table 1 setting).
+type List struct {
+	Succ []int
+}
+
+// RandomList builds a list visiting the n nodes in a random order.
+func RandomList(rng *xrand.Source, n int) List {
+	perm := rng.Perm(n)
+	succ := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		succ[perm[k]] = perm[k+1]
+	}
+	succ[perm[n-1]] = -1
+	return List{Succ: succ}
+}
+
+// NearlyOrderedList builds the list 0→1→…→n−1 with a few random
+// transpositions — the "nearly-ordered" skew case the paper's Section 6
+// intro mentions.
+func NearlyOrderedList(rng *xrand.Source, n, swaps int) List {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for s := 0; s < swaps; s++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		order[i], order[j] = order[j], order[i]
+	}
+	succ := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		succ[order[k]] = order[k+1]
+	}
+	succ[order[n-1]] = -1
+	return List{Succ: succ}
+}
+
+// SequentialRanks computes the reference answer: rank[i] is the number of
+// links from node i to the tail (rank[tail] = 0).
+func (l List) SequentialRanks() []int64 {
+	n := len(l.Succ)
+	rank := make([]int64, n)
+	// Find the tail, then walk backwards using an inverted index.
+	pred := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	tail := -1
+	for i, s := range l.Succ {
+		if s == -1 {
+			tail = i
+		} else {
+			pred[s] = i
+		}
+	}
+	if tail == -1 {
+		panic("problems: list has no tail")
+	}
+	r := int64(0)
+	for i := tail; i != -1; i = pred[i] {
+		rank[i] = r
+		r++
+	}
+	return rank
+}
+
+// message tags for the list-ranking protocols.
+const (
+	tagReq uint8 = iota + 1
+	tagReply
+	tagNo
+)
+
+// ListRankJumpBSP ranks the list by pointer jumping: ⌈lg n⌉ rounds, each
+// updating every unfinished node's (rank, succ) to (rank + rank[succ],
+// succ[succ]) via a request/reply message pair. Every round moves Θ(n)
+// messages, so on the BSP(m) the cost is Θ((n/m + L)·lg n) — the
+// work-suboptimal baseline that ListRankContractBSP improves on.
+func ListRankJumpBSP(m *bsp.Machine, list List) []int64 {
+	n := m.P()
+	if len(list.Succ) != n {
+		panic("problems: list size must equal processor count")
+	}
+	cost := m.Cost()
+	succ := append([]int(nil), list.Succ...)
+	rank := make([]int64, n)
+	for i, s := range succ {
+		if s != -1 {
+			rank[i] = 1
+		}
+	}
+	active := 0
+	for _, s := range succ {
+		if s != -1 {
+			active++
+		}
+	}
+	for active > 0 {
+		period := periodFor(cost, active)
+		// Request: node i asks succ[i] for its (rank, succ).
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			if succ[i] == -1 {
+				return
+			}
+			c.SendAt(slotIn(c.RNG(), period), succ[i], bsp.Msg{Tag: tagReq, A: int64(i)})
+		})
+		// Reply: each queried node answers its single requester.
+		m.Superstep(func(c *bsp.Ctx) {
+			for _, msg := range c.Recv() {
+				if msg.Tag != tagReq {
+					continue
+				}
+				c.Charge(1)
+				c.SendAt(slotIn(c.RNG(), period), int(msg.A),
+					bsp.Msg{Tag: tagReply, A: rank[c.ID()], B: int64(succ[c.ID()])})
+			}
+		})
+		// Update locally (next superstep boundary not needed: replies are
+		// in the inboxes now; apply via a zero-communication superstep so
+		// the work is charged on-machine).
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			for _, msg := range c.Recv() {
+				if msg.Tag != tagReply {
+					continue
+				}
+				c.Charge(1)
+				rank[i] += msg.A
+				succ[i] = int(msg.B)
+			}
+		})
+		active = 0
+		for _, s := range succ {
+			if s != -1 {
+				active++
+			}
+		}
+	}
+	return rank
+}
+
+// contractRecord remembers how a node was spliced out so the expansion can
+// recover its rank.
+type contractRecord struct {
+	round   int
+	oldSucc int
+	oldW    int64
+}
+
+// ListRankContractBSP ranks the list by randomized contraction (random
+// mate): in each round a node whose coin is heads splices out a
+// tails-coin successor, so the live list shrinks by an expected 1/4 per
+// round and total message traffic over all rounds is O(n), giving
+// O(n/m + L·lg n) on the BSP(m) — the work-efficient algorithm behind
+// Table 1 row 4.
+func ListRankContractBSP(m *bsp.Machine, list List) []int64 {
+	n := m.P()
+	if len(list.Succ) != n {
+		panic("problems: list size must equal processor count")
+	}
+	cost := m.Cost()
+	succ := append([]int(nil), list.Succ...)
+	w := make([]int64, n) // weight of node i's outgoing edge
+	dead := make([]bool, n)
+	rec := make([]contractRecord, n)
+	rank := make([]int64, n)
+	coin := make([]bool, n) // true = heads
+	for i, s := range succ {
+		if s != -1 {
+			w[i] = 1
+		}
+		rec[i].round = -1
+	}
+
+	countActive := func() int {
+		a := 0
+		for i := range succ {
+			if !dead[i] && succ[i] != -1 {
+				a++
+			}
+		}
+		return a
+	}
+
+	// --- Contraction ---
+	rounds := 0
+	maxRounds := 40 * bitsLen(n)
+	for active := countActive(); active > 1; active = countActive() {
+		if rounds >= maxRounds {
+			panic(fmt.Sprintf("problems: contraction failed to converge after %d rounds", rounds))
+		}
+		period := periodFor(cost, active)
+		r := rounds
+		// Heads probe their successor.
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			if dead[i] || succ[i] == -1 {
+				return
+			}
+			coin[i] = c.RNG().Bool()
+			if coin[i] {
+				c.SendAt(slotIn(c.RNG(), period), succ[i], bsp.Msg{Tag: tagReq, A: int64(i)})
+			}
+		})
+		// A tails node that is probed and is not the tail of the list
+		// splices itself out: it freezes its state for the expansion and
+		// hands (succ, w) to its predecessor. A heads or list-tail node
+		// declines.
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			for _, msg := range c.Recv() {
+				if msg.Tag != tagReq {
+					continue
+				}
+				c.Charge(1)
+				slot := slotIn(c.RNG(), period)
+				if !coin[i] && succ[i] != -1 && !dead[i] {
+					rec[i] = contractRecord{round: r, oldSucc: succ[i], oldW: w[i]}
+					dead[i] = true
+					c.SendAt(slot, int(msg.A), bsp.Msg{Tag: tagReply, A: int64(succ[i]), B: w[i]})
+				} else {
+					c.SendAt(slot, int(msg.A), bsp.Msg{Tag: tagNo})
+				}
+			}
+		})
+		// Splicers absorb the reply.
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			for _, msg := range c.Recv() {
+				if msg.Tag == tagReply {
+					c.Charge(1)
+					succ[i] = int(msg.A)
+					w[i] += msg.B
+				}
+			}
+		})
+		rounds++
+	}
+
+	// Base case: at most one live non-tail node remains; its rank is its
+	// accumulated weight. Live tail keeps rank 0.
+	for i := range succ {
+		if !dead[i] {
+			if succ[i] != -1 {
+				rank[i] = w[i]
+			} else {
+				rank[i] = 0
+			}
+		}
+	}
+
+	// --- Expansion: reverse round order. A node spliced in round r asks
+	// its frozen successor (whose rank is known by now) for its rank. ---
+	for r := rounds - 1; r >= 0; r-- {
+		cnt := 0
+		for i := range rec {
+			if rec[i].round == r {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		period := periodFor(cost, cnt)
+		rr := r
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			if rec[i].round != rr {
+				return
+			}
+			c.SendAt(slotIn(c.RNG(), period), rec[i].oldSucc, bsp.Msg{Tag: tagReq, A: int64(i)})
+		})
+		m.Superstep(func(c *bsp.Ctx) {
+			for _, msg := range c.Recv() {
+				if msg.Tag != tagReq {
+					continue
+				}
+				c.Charge(1)
+				c.SendAt(slotIn(c.RNG(), period), int(msg.A), bsp.Msg{Tag: tagReply, A: rank[c.ID()]})
+			}
+		})
+		m.Superstep(func(c *bsp.Ctx) {
+			i := c.ID()
+			for _, msg := range c.Recv() {
+				if msg.Tag == tagReply {
+					c.Charge(1)
+					rank[i] = rec[i].oldW + msg.A
+				}
+			}
+		})
+	}
+	return rank
+}
+
+// bitsLen returns ⌈lg(n+1)⌉, used for round caps.
+func bitsLen(n int) int {
+	b := 0
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// --- QSM list ranking ---
+
+// qsm cell layout for list ranking: for node i,
+//
+//	cell i        — packed live state (coin, succ+1, w), rewritten per round
+//	cell n + i    — kill flag for round r (r+1, 0 = alive)
+//	cell 2n + i   — published rank + 1 (0 = unknown)
+const lrFields = 3
+
+func packState(coin bool, succ int, w int64) int64 {
+	v := int64(succ+1)<<22 | (w & ((1 << 21) - 1))
+	if coin {
+		v |= 1 << 62
+	}
+	return v
+}
+
+func unpackState(v int64) (coin bool, succ int, w int64) {
+	coin = v&(1<<62) != 0
+	succ = int((v>>22)&((1<<40)-1)) - 1
+	w = v & ((1 << 21) - 1)
+	return coin, succ, w
+}
+
+// ListRankContractQSM is the random-mate contraction on a QSM machine
+// (either cost model). The machine needs Mem >= 3n. Θ(lg m + n/m)-shaped on
+// the QSM(m) per Table 1 row 4.
+func ListRankContractQSM(m *qsm.Machine, list List) []int64 {
+	n := m.P()
+	if len(list.Succ) != n {
+		panic("problems: list size must equal processor count")
+	}
+	if m.Mem() < lrFields*n {
+		panic("problems: ListRankContractQSM needs Mem >= 3n")
+	}
+	cost := m.Cost()
+	succ := append([]int(nil), list.Succ...)
+	w := make([]int64, n)
+	dead := make([]bool, n)
+	rec := make([]contractRecord, n)
+	rank := make([]int64, n)
+	coin := make([]bool, n)
+	for i, s := range succ {
+		if s != -1 {
+			w[i] = 1
+		}
+		rec[i].round = -1
+	}
+
+	countActive := func() int {
+		a := 0
+		for i := range succ {
+			if !dead[i] && succ[i] != -1 {
+				a++
+			}
+		}
+		return a
+	}
+
+	rounds := 0
+	maxRounds := 40 * bitsLen(n)
+	for active := countActive(); active > 1; active = countActive() {
+		if rounds >= maxRounds {
+			panic(fmt.Sprintf("problems: QSM contraction failed to converge after %d rounds", rounds))
+		}
+		period := periodFor(cost, active)
+		r := rounds
+		// Every live node publishes its packed state (with a fresh coin).
+		m.Phase(func(c *qsm.Ctx) {
+			i := c.ID()
+			if dead[i] {
+				return
+			}
+			coin[i] = c.RNG().Bool()
+			c.WriteAt(slotIn(c.RNG(), period), i, packState(coin[i], succ[i], w[i]))
+		})
+		// Heads read their successor's state and decide the splice; the
+		// splice is announced by writing the round into the victim's kill
+		// cell (exclusive: one predecessor per node).
+		splice := make([]bool, n)
+		sCoin := make([]bool, n)
+		sSucc := make([]int, n)
+		sW := make([]int64, n)
+		m.Phase(func(c *qsm.Ctx) {
+			i := c.ID()
+			if dead[i] || succ[i] == -1 || !coin[i] {
+				return
+			}
+			v := c.ReadAt(slotIn(c.RNG(), period), succ[i])
+			sCoin[i], sSucc[i], sW[i] = unpackState(v)
+		})
+		m.Phase(func(c *qsm.Ctx) {
+			i := c.ID()
+			if dead[i] || succ[i] == -1 || !coin[i] {
+				return
+			}
+			if !sCoin[i] && sSucc[i] != -1 {
+				splice[i] = true
+				c.WriteAt(slotIn(c.RNG(), period), n+succ[i], int64(r+1))
+			}
+		})
+		// Tails nodes read their kill cell; a killed node freezes its
+		// record. Splicers absorb the victim's (succ, w).
+		m.Phase(func(c *qsm.Ctx) {
+			i := c.ID()
+			if !dead[i] && succ[i] != -1 && !coin[i] {
+				if c.ReadAt(slotIn(c.RNG(), period), n+i) == int64(r+1) {
+					rec[i] = contractRecord{round: r, oldSucc: succ[i], oldW: w[i]}
+					dead[i] = true
+				}
+			}
+			if splice[i] {
+				succ[i] = sSucc[i]
+				w[i] += sW[i]
+			}
+		})
+		rounds++
+	}
+
+	for i := range succ {
+		if !dead[i] {
+			if succ[i] != -1 {
+				rank[i] = w[i]
+			} else {
+				rank[i] = 0
+			}
+		}
+	}
+	// Publish base ranks.
+	pubPeriod := periodFor(cost, 2)
+	m.Phase(func(c *qsm.Ctx) {
+		i := c.ID()
+		if !dead[i] {
+			c.WriteAt(slotIn(c.RNG(), pubPeriod), 2*n+i, rank[i]+1)
+		}
+	})
+
+	// Expansion in reverse round order through the rank cells.
+	for r := rounds - 1; r >= 0; r-- {
+		cnt := 0
+		for i := range rec {
+			if rec[i].round == r {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		period := periodFor(cost, cnt)
+		rr := r
+		m.Phase(func(c *qsm.Ctx) {
+			i := c.ID()
+			if rec[i].round != rr {
+				return
+			}
+			got := c.ReadAt(slotIn(c.RNG(), period), 2*n+rec[i].oldSucc)
+			if got == 0 {
+				panic("problems: expansion read an unknown rank")
+			}
+			rank[i] = rec[i].oldW + (got - 1)
+		})
+		m.Phase(func(c *qsm.Ctx) {
+			i := c.ID()
+			if rec[i].round == rr {
+				c.WriteAt(slotIn(c.RNG(), period), 2*n+i, rank[i]+1)
+			}
+		})
+	}
+	return rank
+}

@@ -1,0 +1,335 @@
+// Package qsm simulates the Queuing Shared Memory machines of Gibbons,
+// Matias & Ramachandran under the locally-limited QSM(g) and the
+// globally-limited QSM(m) cost models of the SPAA 1997 bandwidth paper.
+//
+// A Machine owns p processors and a flat shared memory of int64 words.
+// An algorithm is a sequence of Phase calls. Within a phase each processor
+// may read and write shared-memory locations and perform local computation;
+// reads observe the memory as of the start of the phase (the model specifies
+// that a value returned by a read is usable only in a subsequent phase — the
+// engine realizes this by buffering all writes until the end of the phase),
+// and concurrent writes to one location are resolved by the Arbitrary rule.
+// Reading and writing the same location within one phase is a model
+// violation and panics.
+//
+// Cost per phase: QSM(g) charges max(w, g·h, κ); QSM(m) charges
+// max(w, h, κ, c_m) where c_m is computed from the exact per-step request
+// histogram (processors schedule requests into steps via ReadAt/WriteAt, at
+// most one request per processor per step).
+package qsm
+
+import (
+	"fmt"
+	"sort"
+
+	"parbw/internal/model"
+	"parbw/internal/workpool"
+	"parbw/internal/xrand"
+)
+
+// Stats describes one executed phase.
+type Stats struct {
+	W        int        // maximum local work over processors
+	H        int        // max over processors of max(reads, writes), at least 1
+	Reads    int        // total read requests
+	Writes   int        // total write requests
+	Kappa    int        // maximum per-location contention
+	Steps    int        // number of request steps spanned
+	MaxSlot  int        // maximum per-step request count
+	Overload int        // steps with more than m requests (QSM(m) only)
+	CM       model.Time // c_m (QSM(m) only)
+	Cost     model.Time // phase cost under the machine's model
+}
+
+// Config configures a Machine.
+type Config struct {
+	P       int        // processors
+	Mem     int        // shared-memory words
+	Cost    model.Cost // must be a QSM kind
+	Seed    uint64
+	Workers int
+	Trace   bool
+}
+
+// request is a buffered shared-memory access.
+type request struct {
+	slot  int
+	addr  int
+	val   int64
+	write bool
+}
+
+// Machine is a simulated QSM machine. Methods must be called from a single
+// driver goroutine.
+type Machine struct {
+	p    int
+	mem  []int64
+	cost model.Cost
+	pool *workpool.Pool
+
+	ctxs []Ctx
+
+	time  model.Time
+	steps int
+	last  Stats
+	trace []Stats
+	keep  bool
+
+	// scratch contention counters indexed by address, plus the touched
+	// addresses of the current phase, reused across phases
+	rdCount, wrCount []int
+	touched          []int
+	hist             []int
+}
+
+// New constructs a Machine; it panics on invalid configuration.
+func New(cfg Config) *Machine {
+	if !cfg.Cost.SharedMemory() {
+		panic(fmt.Sprintf("qsm: cost model %v is not a QSM kind", cfg.Cost.Kind))
+	}
+	if err := cfg.Cost.Validate(cfg.P); err != nil {
+		panic("qsm: " + err.Error())
+	}
+	if cfg.Mem < 1 {
+		panic("qsm: Mem must be >= 1")
+	}
+	m := &Machine{
+		p:       cfg.P,
+		mem:     make([]int64, cfg.Mem),
+		cost:    cfg.Cost,
+		pool:    workpool.New(cfg.Workers),
+		ctxs:    make([]Ctx, cfg.P),
+		keep:    cfg.Trace,
+		rdCount: make([]int, cfg.Mem),
+		wrCount: make([]int, cfg.Mem),
+	}
+	root := xrand.New(cfg.Seed)
+	for i := range m.ctxs {
+		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
+	}
+	return m
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.p }
+
+// Mem returns the shared-memory size in words.
+func (m *Machine) Mem() int { return len(m.mem) }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() model.Cost { return m.cost }
+
+// Time returns the accumulated simulated time.
+func (m *Machine) Time() model.Time { return m.time }
+
+// Phases returns the number of phases executed.
+func (m *Machine) Phases() int { return m.steps }
+
+// Last returns the Stats of the most recent phase.
+func (m *Machine) Last() Stats { return m.last }
+
+// Trace returns retained per-phase Stats (nil unless Config.Trace).
+func (m *Machine) Trace() []Stats { return m.trace }
+
+// ChargeTime adds simulated time outside any phase.
+func (m *Machine) ChargeTime(t model.Time) { m.time += t }
+
+// Load reads shared memory directly, free of model charge (setup and
+// inspection only).
+func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
+
+// Store writes shared memory directly, free of model charge (input placement
+// and tests only).
+func (m *Machine) Store(addr int, val int64) { m.mem[addr] = val }
+
+// Ctx is the per-processor view of the current phase.
+type Ctx struct {
+	id  int
+	m   *Machine
+	rng *xrand.Source
+
+	work     int
+	reqs     []request
+	nr, nw   int
+	autoSlot int
+}
+
+// ID returns this processor's index.
+func (c *Ctx) ID() int { return c.id }
+
+// P returns the machine's processor count.
+func (c *Ctx) P() int { return c.m.p }
+
+// RNG returns this processor's private deterministic random source.
+func (c *Ctx) RNG() *xrand.Source { return c.rng }
+
+// Charge records units of local computation performed this phase.
+func (c *Ctx) Charge(units int) {
+	if units > 0 {
+		c.work += units
+	}
+}
+
+// Read issues a read of addr in this processor's next free request step and
+// returns the value the location held at the start of the phase.
+func (c *Ctx) Read(addr int) int64 { return c.ReadAt(c.autoSlot, addr) }
+
+// ReadAt issues a read of addr in request step slot.
+func (c *Ctx) ReadAt(slot, addr int) int64 {
+	c.addReq(slot, addr, 0, false)
+	c.nr++
+	return c.m.mem[addr]
+}
+
+// Write issues a write of val to addr in this processor's next free request
+// step. The write takes effect at the end of the phase; concurrent writers
+// to one location are resolved by the Arbitrary rule (in this engine, the
+// highest-numbered writing processor deterministically wins).
+func (c *Ctx) Write(addr int, val int64) { c.WriteAt(c.autoSlot, addr, val) }
+
+// WriteAt issues a write in request step slot.
+func (c *Ctx) WriteAt(slot, addr int, val int64) {
+	c.addReq(slot, addr, val, true)
+	c.nw++
+}
+
+func (c *Ctx) addReq(slot, addr int, val int64, write bool) {
+	if slot < 0 {
+		panic(fmt.Sprintf("qsm: proc %d request at negative slot %d", c.id, slot))
+	}
+	if addr < 0 || addr >= len(c.m.mem) {
+		panic(fmt.Sprintf("qsm: proc %d access to invalid address %d (mem=%d)", c.id, addr, len(c.m.mem)))
+	}
+	c.reqs = append(c.reqs, request{slot: slot, addr: addr, val: val, write: write})
+	if slot+1 > c.autoSlot {
+		c.autoSlot = slot + 1
+	}
+}
+
+// Phase executes fn for every processor, applies buffered writes, computes
+// contention and cost, and advances the clock. It returns the phase Stats.
+func (m *Machine) Phase(fn func(c *Ctx)) Stats {
+	m.pool.For(m.p, func(i int) {
+		c := &m.ctxs[i]
+		c.work = 0
+		c.reqs = c.reqs[:0]
+		c.nr, c.nw = 0, 0
+		c.autoSlot = 0
+		fn(c)
+	})
+	st := m.merge()
+	m.time += st.Cost
+	m.steps++
+	m.last = st
+	if m.keep {
+		m.trace = append(m.trace, st)
+	}
+	return st
+}
+
+func (m *Machine) merge() Stats {
+	var st Stats
+	m.touched = m.touched[:0]
+
+	maxStep := 0
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		if c.work > st.W {
+			st.W = c.work
+		}
+		hi := c.nr
+		if c.nw > hi {
+			hi = c.nw
+		}
+		if hi > st.H {
+			st.H = hi
+		}
+		st.Reads += c.nr
+		st.Writes += c.nw
+		// Validate one request per processor per step.
+		if len(c.reqs) > 1 {
+			sort.Slice(c.reqs, func(a, b int) bool { return c.reqs[a].slot < c.reqs[b].slot })
+			for j := 1; j < len(c.reqs); j++ {
+				if c.reqs[j].slot == c.reqs[j-1].slot {
+					panic(fmt.Sprintf("qsm: proc %d issues two requests in step %d", i, c.reqs[j].slot))
+				}
+			}
+		}
+		for _, r := range c.reqs {
+			if r.slot+1 > maxStep {
+				maxStep = r.slot + 1
+			}
+			if m.rdCount[r.addr] == 0 && m.wrCount[r.addr] == 0 {
+				m.touched = append(m.touched, r.addr)
+			}
+			if r.write {
+				m.wrCount[r.addr]++
+			} else {
+				m.rdCount[r.addr]++
+			}
+		}
+	}
+	if st.H < 1 {
+		st.H = 1
+	}
+	st.Steps = maxStep
+
+	// Contention κ and the read-write exclusion rule; reset the counters
+	// for the next phase as we go (only touched addresses are non-zero).
+	for _, addr := range m.touched {
+		rd, wr := m.rdCount[addr], m.wrCount[addr]
+		if rd > 0 && wr > 0 {
+			panic(fmt.Sprintf("qsm: location %d both read and written in one phase", addr))
+		}
+		if rd > st.Kappa {
+			st.Kappa = rd
+		}
+		if wr > st.Kappa {
+			st.Kappa = wr
+		}
+		m.rdCount[addr], m.wrCount[addr] = 0, 0
+	}
+
+	// Histogram over request steps; apply writes in processor order so the
+	// highest-numbered writer wins deterministically (Arbitrary rule).
+	if cap(m.hist) < maxStep {
+		m.hist = make([]int, maxStep)
+	}
+	hist := m.hist[:maxStep]
+	for i := range hist {
+		hist[i] = 0
+	}
+	for i := range m.ctxs {
+		c := &m.ctxs[i]
+		for _, r := range c.reqs {
+			hist[r.slot]++
+			if r.write {
+				m.mem[r.addr] = r.val
+			}
+		}
+	}
+	for _, mt := range hist {
+		if mt > st.MaxSlot {
+			st.MaxSlot = mt
+		}
+		if m.cost.Kind == model.KindQSMm && mt > m.cost.M {
+			st.Overload++
+		}
+	}
+	if m.cost.Kind == model.KindQSMm {
+		st.CM = m.cost.CM(hist)
+	}
+	st.Cost = m.cost.QSMPhase(st.W, st.H, st.Kappa, hist)
+	return st
+}
+
+// Reset clears memory, time and trace, preserving processor RNG state.
+func (m *Machine) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.time = 0
+	m.steps = 0
+	m.last = Stats{}
+	m.trace = nil
+}

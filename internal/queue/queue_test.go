@@ -1,0 +1,143 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"parbw/internal/xrand"
+)
+
+func TestMG1Basics(t *testing.T) {
+	q := MG1{Lambda: 0.5, Mu1: 1, Mu2: 1} // deterministic unit service
+	if !q.Stable() {
+		t.Fatal("ρ=0.5 reported unstable")
+	}
+	if math.Abs(q.Rho()-0.5) > 1e-12 {
+		t.Fatalf("Rho = %v", q.Rho())
+	}
+	// P-K mean wait: λμ₂/(2(1−ρ)) = 0.5/(2·0.5) = 0.5.
+	if math.Abs(q.MeanWait()-0.5) > 1e-12 {
+		t.Fatalf("MeanWait = %v, want 0.5", q.MeanWait())
+	}
+	if math.Abs(q.MeanSojourn()-1.5) > 1e-12 {
+		t.Fatalf("MeanSojourn = %v, want 1.5", q.MeanSojourn())
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	q := MG1{Lambda: 1.2, Mu1: 1, Mu2: 1}
+	if q.Stable() {
+		t.Fatal("ρ=1.2 reported stable")
+	}
+	if !math.IsInf(q.MeanWait(), 1) || !math.IsInf(q.MeanQueueAtDeparture(), 1) {
+		t.Fatal("unstable queue should have infinite means")
+	}
+}
+
+func TestMG1MeanQueueFormula(t *testing.T) {
+	q := MG1{Lambda: 0.4, Mu1: 1.5, Mu2: 3}
+	rho := 0.6
+	want := rho + 0.4*0.4*3/(2*(1-rho))
+	if math.Abs(q.MeanQueueAtDeparture()-want) > 1e-12 {
+		t.Fatalf("MeanQueueAtDeparture = %v, want %v", q.MeanQueueAtDeparture(), want)
+	}
+}
+
+// The paper's constant: E[S”₀] = (W/U)·Σ 1/k³ < 1.21·W/U.
+func TestSDoublePrimeMean(t *testing.T) {
+	s := SDoublePrime{W: 100, U: 10}
+	mean := s.Mean()
+	// Exact mean is ζ(4)·W/U ≈ 1.0823·W/U; the paper bounds it by
+	// Σ 1/k³ = ζ(3) < 1.21 per W/U unit.
+	zeta4 := 1.0823232
+	if math.Abs(mean-10*zeta4) > 0.01 {
+		t.Fatalf("E[S''] = %v, want ≈ %v", mean, 10*zeta4)
+	}
+	if mean >= 1.21*100/10 {
+		t.Fatalf("E[S''] = %v violates the paper's 1.21·w/u bound", mean)
+	}
+}
+
+func TestSPrimeMeanAndDominance(t *testing.T) {
+	s := SPrime{W: 50, U: 5, R: 0.1}
+	mean := s.Mean()
+	// Mean must be at least the base value (W−U)(1−R) and finite.
+	if mean < float64(s.W-s.U)*(1-s.R) || math.IsInf(mean, 1) {
+		t.Fatalf("E[S'] = %v out of range", mean)
+	}
+	if s.SecondMoment() < mean*mean {
+		t.Fatalf("E[S'²] = %v < mean² = %v", s.SecondMoment(), mean*mean)
+	}
+}
+
+func TestSPrimeDrawMatchesMean(t *testing.T) {
+	s := SPrime{W: 40, U: 8, R: 0.2}
+	rng := xrand.New(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Draw(rng)
+		if v < float64(s.W-s.U) {
+			t.Fatalf("draw %v below minimum %d", v, s.W-s.U)
+		}
+		sum += v
+	}
+	emp := sum / n
+	if math.Abs(emp-s.Mean())/s.Mean() > 0.02 {
+		t.Fatalf("empirical mean %v vs analytic %v", emp, s.Mean())
+	}
+}
+
+func TestSPrimeDrawTailProbabilities(t *testing.T) {
+	s := SPrime{W: 20, U: 4, R: 0.5}
+	rng := xrand.New(6)
+	base := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Draw(rng) == float64(s.W-s.U) {
+			base++
+		}
+	}
+	frac := float64(base) / n
+	if math.Abs(frac-(1-s.R)) > 0.01 {
+		t.Fatalf("P(base) = %v, want %v", frac, 1-s.R)
+	}
+}
+
+// Empirical FIFO queue matches the M/G/1 P-K sojourn prediction for a
+// memoryless-ish arrival process with deterministic service.
+func TestSimulateFIFOMatchesMG1(t *testing.T) {
+	rng := xrand.New(7)
+	rate := 0.3
+	serv := 2.0
+	res := SimulateFIFO(rng, rate, func(*xrand.Source) float64 { return serv }, 400000)
+	q := MG1{Lambda: rate, Mu1: serv, Mu2: serv * serv}
+	want := q.MeanSojourn()
+	// Bernoulli (discrete) arrivals are less bursty than Poisson, so the
+	// continuous M/G/1 prediction is an upper bound; the sojourn must also
+	// be at least the bare service time.
+	if res.MeanSojourn > want || res.MeanSojourn < serv {
+		t.Fatalf("empirical sojourn %v outside (%v, %v]", res.MeanSojourn, serv, want)
+	}
+	if res.Served < int(0.28*400000) {
+		t.Fatalf("served only %d jobs", res.Served)
+	}
+}
+
+func TestSimulateFIFOUnstableGrows(t *testing.T) {
+	rng := xrand.New(8)
+	resShort := SimulateFIFO(rng, 0.9, func(*xrand.Source) float64 { return 2 }, 2000)
+	rng2 := xrand.New(8)
+	resLong := SimulateFIFO(rng2, 0.9, func(*xrand.Source) float64 { return 2 }, 20000)
+	if resLong.MaxQueue <= resShort.MaxQueue {
+		t.Fatalf("overloaded queue did not grow: %d vs %d", resLong.MaxQueue, resShort.MaxQueue)
+	}
+}
+
+func TestSimulateFIFOStableBounded(t *testing.T) {
+	rng := xrand.New(9)
+	res := SimulateFIFO(rng, 0.2, func(*xrand.Source) float64 { return 1 }, 100000)
+	if res.MeanQueue > 1 {
+		t.Fatalf("lightly loaded queue has mean backlog %v", res.MeanQueue)
+	}
+}

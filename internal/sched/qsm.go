@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"fmt"
+
+	"parbw/internal/collective"
+	"parbw/internal/model"
+	"parbw/internal/qsm"
+)
+
+// The QSM(m) counterparts of the Section 6.1 schedulers — the paper states
+// its routing results for the BSP(m) and notes "the same techniques can be
+// used to obtain similar results for the QSM(m), an exercise left to the
+// reader". Here the exercise is carried out: each processor i holds x_i
+// shared-memory requests (writes to distinct cells, the shared-memory
+// analogue of distinct point-to-point messages); requests are injected one
+// per processor per step under the aggregate limit of m requests per step,
+// with the same cyclic random schedule and the same
+// max((1+ε)n/m, x̄, κ) + τ completion guarantee.
+
+// QSMWrite is one pending shared-memory write.
+type QSMWrite struct {
+	Addr int
+	Val  int64
+}
+
+// QSMPlan assigns each processor its pending writes.
+type QSMPlan [][]QSMWrite
+
+// Counts returns per-processor request counts and the total.
+func (p QSMPlan) Counts(procs int) (x []int, n int) {
+	x = make([]int, procs)
+	for i, ws := range p {
+		x[i] = len(ws)
+		n += len(ws)
+	}
+	return x, n
+}
+
+// QSMResult reports a completed QSM scheduling run.
+type QSMResult struct {
+	Time   model.Time // total simulated time including τ
+	Tau    model.Time // time to compute and broadcast n
+	Phase  qsm.Stats  // stats of the write phase
+	N      int
+	XBar   int
+	Period int
+}
+
+// checkQSMPlan validates shape and addresses.
+func checkQSMPlan(m *qsm.Machine, plan QSMPlan) {
+	if len(plan) != m.P() {
+		panic(fmt.Sprintf("sched: QSM plan has %d rows for %d processors", len(plan), m.P()))
+	}
+	for i, ws := range plan {
+		seen := map[int]bool{}
+		for _, w := range ws {
+			if w.Addr < 0 || w.Addr >= m.Mem() {
+				panic(fmt.Sprintf("sched: proc %d write to invalid address %d", i, w.Addr))
+			}
+			if seen[w.Addr] {
+				panic(fmt.Sprintf("sched: proc %d writes address %d twice in one phase", i, w.Addr))
+			}
+			seen[w.Addr] = true
+		}
+	}
+}
+
+// learnNQSM makes n known to every processor (Options.KnownN or the
+// prefix-sum/broadcast protocol on the QSM, charging τ).
+func learnNQSM(m *qsm.Machine, x []int, opt Options) (n int, tau model.Time) {
+	if opt.KnownN > 0 {
+		return opt.KnownN, 0
+	}
+	counts := make([]int64, len(x))
+	for i, v := range x {
+		counts[i] = int64(v)
+	}
+	before := m.Time()
+	total := collective.SumAllQSM(m, counts, collective.Sum)
+	return int(total), m.Time() - before
+}
+
+// UnbalancedSendQSM is Unbalanced-Send on a QSM machine: processor i with
+// x_i <= T picks a uniform phase j_i in the period T = ⌈(1+ε)n/m⌉ and
+// issues its requests at steps (j_i + k) mod T; an overloaded processor
+// issues consecutively from step 0.
+func UnbalancedSendQSM(m *qsm.Machine, plan QSMPlan, opt Options) QSMResult {
+	checkQSMPlan(m, plan)
+	x, _ := plan.Counts(m.P())
+	n, tau := learnNQSM(m, x, opt)
+	mm := m.Cost().M
+	if m.Cost().Kind == model.KindQSMg {
+		mm = m.P() // no aggregate limit; schedule degenerates
+	}
+	T := period(n, mm, opt.eps())
+	st := m.Phase(func(c *qsm.Ctx) {
+		i := c.ID()
+		if x[i] == 0 {
+			return
+		}
+		if x[i] > T {
+			for k, w := range plan[i] {
+				c.WriteAt(k, w.Addr, w.Val)
+			}
+			return
+		}
+		j := c.RNG().Intn(T)
+		for k, w := range plan[i] {
+			c.WriteAt((j+k)%T, w.Addr, w.Val)
+		}
+	})
+	return finishQSM(m.P(), plan, st, tau, T)
+}
+
+// UnbalancedConsecutiveSendQSM issues all of a processor's requests
+// consecutively from a random start (Theorem 6.3's variant on the QSM).
+func UnbalancedConsecutiveSendQSM(m *qsm.Machine, plan QSMPlan, opt Options) QSMResult {
+	checkQSMPlan(m, plan)
+	x, _ := plan.Counts(m.P())
+	n, tau := learnNQSM(m, x, opt)
+	mm := m.Cost().M
+	if m.Cost().Kind == model.KindQSMg {
+		mm = m.P()
+	}
+	T := period(n, mm, opt.eps())
+	st := m.Phase(func(c *qsm.Ctx) {
+		i := c.ID()
+		if x[i] == 0 {
+			return
+		}
+		start := 0
+		if x[i] <= T {
+			start = c.RNG().Intn(T)
+		}
+		for k, w := range plan[i] {
+			c.WriteAt(start+k, w.Addr, w.Val)
+		}
+	})
+	return finishQSM(m.P(), plan, st, tau, T)
+}
+
+// NaiveSendQSM issues every processor's requests from step 0.
+func NaiveSendQSM(m *qsm.Machine, plan QSMPlan) QSMResult {
+	checkQSMPlan(m, plan)
+	st := m.Phase(func(c *qsm.Ctx) {
+		for k, w := range plan[c.ID()] {
+			c.WriteAt(k, w.Addr, w.Val)
+		}
+	})
+	return finishQSM(m.P(), plan, st, 0, 0)
+}
+
+func finishQSM(p int, plan QSMPlan, st qsm.Stats, tau model.Time, T int) QSMResult {
+	x, n := plan.Counts(p)
+	xb := 0
+	for _, v := range x {
+		if v > xb {
+			xb = v
+		}
+	}
+	return QSMResult{
+		Time:   st.Cost + tau,
+		Tau:    tau,
+		Phase:  st,
+		N:      n,
+		XBar:   xb,
+		Period: T,
+	}
+}
+
+// OptimalOfflineQSM returns the offline bound max(⌈n/m⌉, x̄, κ) for a run
+// whose maximum per-cell contention was kappa.
+func (r QSMResult) OptimalOfflineQSM(m int) model.Time {
+	t := float64((r.N + m - 1) / m)
+	if f := float64(r.XBar); f > t {
+		t = f
+	}
+	if f := float64(r.Phase.Kappa); f > t {
+		t = f
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parbw/internal/model"
+	"parbw/internal/qsm"
+	"parbw/internal/xrand"
+)
+
+func qsmMachineFor(p, mem, mm int, seed uint64) *qsm.Machine {
+	return qsm.New(qsm.Config{P: p, Mem: mem, Cost: model.QSMm(mm), Seed: seed})
+}
+
+// zipfQSMPlan builds a write plan with Zipf-skewed request counts; each
+// processor writes its own disjoint address block so writes never collide.
+func zipfQSMPlan(rng *xrand.Source, p, n, blk int, skew float64) QSMPlan {
+	plan := make(QSMPlan, p)
+	z := xrand.NewZipf(rng, p, skew)
+	count := make([]int, p)
+	for k := 0; k < n; k++ {
+		i := z.Draw()
+		if count[i] >= blk {
+			continue // block full; drop (keeps addresses disjoint)
+		}
+		plan[i] = append(plan[i], QSMWrite{Addr: i*blk + count[i], Val: int64(k)})
+		count[i]++
+	}
+	return plan
+}
+
+func TestUnbalancedSendQSMDelivers(t *testing.T) {
+	p, mm, blk := 32, 8, 64
+	rng := xrand.New(1)
+	plan := zipfQSMPlan(rng, p, 600, blk, 1.1)
+	m := qsmMachineFor(p, p*blk, mm, 2)
+	r := UnbalancedSendQSM(m, plan, Options{Eps: 0.5})
+	for i, ws := range plan {
+		for _, w := range ws {
+			if m.Load(w.Addr) != w.Val {
+				t.Fatalf("proc %d write to %d lost", i, w.Addr)
+			}
+		}
+	}
+	if r.N == 0 || r.Tau <= 0 {
+		t.Fatalf("result incomplete: %+v", r)
+	}
+}
+
+func TestUnbalancedSendQSMWithinBound(t *testing.T) {
+	p, mm, blk := 64, 32, 64
+	eps := 0.25
+	for trial := uint64(0); trial < 8; trial++ {
+		rng := xrand.New(trial)
+		plan := zipfQSMPlan(rng, p, 2000, blk, 1.0)
+		m := qsmMachineFor(p, p*blk, mm, trial)
+		r := UnbalancedSendQSM(m, plan, Options{Eps: eps})
+		// The w.h.p. guarantee is asymptotic in m; at m=32 steps may exceed
+		// the limit by a hair (cost e^{1/m} each), never by a multiple.
+		if r.Phase.MaxSlot > mm+mm/4 {
+			t.Fatalf("trial %d: maxslot %d far above m=%d (overloads %d)",
+				trial, r.Phase.MaxSlot, mm, r.Phase.Overload)
+		}
+		opt := r.OptimalOfflineQSM(mm)
+		if r.Time > (1+eps)*opt+r.Tau+float64(r.XBar)+1 {
+			t.Fatalf("trial %d: time %v vs bound around %v", trial, r.Time, (1+eps)*opt+r.Tau)
+		}
+	}
+}
+
+func TestConsecutiveSendQSM(t *testing.T) {
+	p, mm, blk := 32, 16, 32
+	rng := xrand.New(3)
+	plan := zipfQSMPlan(rng, p, 500, blk, 0.9)
+	m := qsmMachineFor(p, p*blk, mm, 4)
+	r := UnbalancedConsecutiveSendQSM(m, plan, Options{Eps: 0.25})
+	for _, ws := range plan {
+		for _, w := range ws {
+			if m.Load(w.Addr) != w.Val {
+				t.Fatal("write lost")
+			}
+		}
+	}
+	if r.Time > float64(r.Period+r.XBar)+r.Tau+1 {
+		t.Fatalf("time %v above period+x̄ bound", r.Time)
+	}
+}
+
+func TestNaiveVsScheduledQSM(t *testing.T) {
+	p, mm, blk := 64, 8, 32
+	plan := make(QSMPlan, p)
+	for i := range plan {
+		for k := 0; k < blk; k++ {
+			plan[i] = append(plan[i], QSMWrite{Addr: i*blk + k, Val: 1})
+		}
+	}
+	naive := NaiveSendQSM(qsmMachineFor(p, p*blk, mm, 5), plan)
+	schd := UnbalancedSendQSM(qsmMachineFor(p, p*blk, mm, 5), plan, Options{Eps: 0.25})
+	if naive.Time < 50*schd.Time {
+		t.Fatalf("naive %v not ≫ scheduled %v under exp penalty", naive.Time, schd.Time)
+	}
+}
+
+func TestKnownNSkipsTauQSM(t *testing.T) {
+	p, blk := 16, 8
+	rng := xrand.New(6)
+	plan := zipfQSMPlan(rng, p, 60, blk, 0.5)
+	_, n := plan.Counts(p)
+	m := qsmMachineFor(p, p*blk, 8, 7)
+	r := UnbalancedSendQSM(m, plan, Options{KnownN: n})
+	if r.Tau != 0 || m.Phases() != 1 {
+		t.Fatalf("KnownN did not skip τ: tau=%v phases=%d", r.Tau, m.Phases())
+	}
+}
+
+func TestQSMPlanValidation(t *testing.T) {
+	m := qsmMachineFor(4, 16, 2, 1)
+	for _, plan := range []QSMPlan{
+		{nil},                                   // wrong size
+		{{{Addr: 99, Val: 1}}, nil, nil, nil},   // bad address
+		{{{Addr: 1}, {Addr: 1}}, nil, nil, nil}, // duplicate address
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid QSM plan accepted")
+				}
+			}()
+			UnbalancedSendQSM(m, plan, Options{KnownN: 1})
+		}()
+	}
+}
+
+// Property: the scheduled phase respects the aggregate limit w.h.p.
+func TestUnbalancedSendQSMRespectsLimit(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, mm, blk := 32, 16, 32
+		rng := xrand.New(seed)
+		plan := zipfQSMPlan(rng, p, 700, blk, 1.0)
+		m := qsmMachineFor(p, p*blk, mm, seed)
+		r := UnbalancedSendQSM(m, plan, Options{Eps: 0.5})
+		// The e^{-Ω(ε²m)} tail at m=16 still allows small exceedances; a
+		// 1.5× excursion would indicate a broken schedule.
+		return r.Phase.MaxSlot <= mm+mm/2
+	}
+	if err := quick.Check(f, statCfg(25)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QSM(g) degenerate path: the schedule is irrelevant but the result must
+// still deliver and cost g·x̄.
+func TestUnbalancedSendQSMOnQSMg(t *testing.T) {
+	p, g, blk := 16, 4, 8
+	m := qsm.New(qsm.Config{P: p, Mem: p * blk, Cost: model.QSMg(g), Seed: 1})
+	plan := make(QSMPlan, p)
+	for k := 0; k < blk; k++ {
+		plan[0] = append(plan[0], QSMWrite{Addr: k, Val: int64(k + 1)})
+	}
+	r := UnbalancedSendQSM(m, plan, Options{KnownN: blk})
+	if r.Phase.Cost != float64(g*blk) {
+		t.Fatalf("QSM(g) phase cost %v, want g·x̄ = %d", r.Phase.Cost, g*blk)
+	}
+}

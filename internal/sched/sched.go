@@ -1,0 +1,431 @@
+// Package sched implements the randomized message-scheduling algorithms of
+// Section 6.1 of Adler, Gibbons, Matias & Ramachandran (SPAA 1997) — the
+// paper's core algorithmic contribution — together with the baselines they
+// are measured against.
+//
+// The problem: each processor i of a BSP(m) machine holds x_i messages of
+// known destinations (x_i may be wildly unbalanced and is known only to
+// processor i). The messages must be injected into a network that sustains
+// only m injections per step, with a penalty — exponential in the paper's
+// pessimistic reading — for every step that exceeds m. The algorithms
+// stagger the injections so that, with high probability, no step exceeds m
+// and the total time is within (1+ε) of the optimal offline schedule
+// max(n/m, x̄, ȳ):
+//
+//   - UnbalancedSend (Theorem 6.2): processor i picks a uniformly random
+//     phase j_i in a period of T = (1+ε)n/m steps and sends its messages
+//     cyclically from that phase. Completion in max((1+ε)n/m, x̄, ȳ) + τ
+//     w.h.p., where τ = O(p/m + L + L·lg m/lg L) pays for computing and
+//     broadcasting n.
+//   - UnbalancedConsecutiveSend (Theorem 6.3): as above but all of a
+//     processor's flits go consecutively from j_i (no wraparound), for
+//     settings with per-message startup costs; additive x̄' term.
+//   - UnbalancedGranularSend (Theorem 6.4): phases are restricted to
+//     multiples of the granularity t' = n/p, replacing the n < e^{αm}
+//     requirement with p < e^{αm}.
+//   - Long-message variant (Section 6.1 end): flits of one message occupy
+//     consecutive steps; a message whose cyclic allocation would wrap the
+//     period is instead sent straight through, an additive ℓ̂ (max message
+//     length) overhead.
+//   - WithOverhead: models the LOGP-style per-message startup cost o by
+//     prepending o dummy flits to every message.
+//
+// Baselines: NaiveSend (everyone injects from step 0 — the behaviour of a
+// locally-limited algorithm dropped onto a globally-limited machine) and
+// OfflineSend (the derandomized schedule using exact prefix ranks, which is
+// the optimal offline schedule up to rounding).
+package sched
+
+import (
+	"fmt"
+
+	"parbw/internal/bsp"
+	"parbw/internal/collective"
+	"parbw/internal/model"
+)
+
+// Plan assigns each processor the messages it must send: Plan[i] are
+// processor i's outgoing messages (Dst and Len must be set; Src is filled by
+// the engine).
+type Plan [][]bsp.Msg
+
+// Flits returns per-processor flit counts x_i, the total n, and the
+// receive-side flit counts y_i.
+func (p Plan) Flits(procs int) (x []int, n int, y []int) {
+	x = make([]int, procs)
+	y = make([]int, procs)
+	for i, msgs := range p {
+		for _, msg := range msgs {
+			f := msg.Flits()
+			x[i] += f
+			n += f
+			y[msg.Dst] += f
+		}
+	}
+	return x, n, y
+}
+
+// MaxLen returns the maximum message length ℓ̂ in the plan (0 if empty).
+func (p Plan) MaxLen() int {
+	max := 0
+	for _, msgs := range p {
+		for _, msg := range msgs {
+			if f := msg.Flits(); f > max {
+				max = f
+			}
+		}
+	}
+	return max
+}
+
+// WithOverhead returns a copy of the plan in which every message is
+// lengthened by o flits, modeling a startup cost of o per message (the
+// LOGP overhead parameter): the o extra flits occupy injection steps just
+// as payload flits do.
+func (p Plan) WithOverhead(o int) Plan {
+	if o < 0 {
+		panic("sched: negative overhead")
+	}
+	out := make(Plan, len(p))
+	for i, msgs := range p {
+		out[i] = make([]bsp.Msg, len(msgs))
+		for j, msg := range msgs {
+			msg.Len = int32(msg.Flits() + o)
+			out[i][j] = msg
+		}
+	}
+	return out
+}
+
+// Options configures a scheduling run.
+type Options struct {
+	// Eps is the paper's ε; the schedule period is (1+ε)n/m. Zero selects
+	// 0.25.
+	Eps float64
+	// KnownN, if positive, declares the total flit count known to all
+	// processors in advance, skipping the prefix-sum/broadcast (τ = 0). The
+	// value must be at least the plan's true total.
+	KnownN int
+	// GranularC is the constant c of Unbalanced-Granular-Send's c·n/m
+	// period. Zero selects 4.
+	GranularC float64
+}
+
+func (o Options) eps() float64 {
+	if o.Eps <= 0 {
+		return 0.25
+	}
+	return o.Eps
+}
+
+func (o Options) granularC() float64 {
+	if o.GranularC <= 0 {
+		return 4
+	}
+	return o.GranularC
+}
+
+// Result reports a completed scheduling run.
+type Result struct {
+	Time   model.Time // total simulated time, including τ
+	Tau    model.Time // time spent computing and broadcasting n
+	Send   bsp.Stats  // stats of the sending superstep
+	N      int        // total flits sent
+	XBar   int        // max flits sent by one processor (x̄)
+	YBar   int        // max flits destined to one processor (ȳ)
+	Period int        // schedule period T used
+}
+
+// OptimalOffline returns the offline lower bound max(⌈n/m⌉, x̄, ȳ, L) for
+// the run's traffic on a machine with aggregate bandwidth m and latency l.
+func (r Result) OptimalOffline(m, l int) model.Time {
+	t := float64((r.N + m - 1) / m)
+	if f := float64(r.XBar); f > t {
+		t = f
+	}
+	if f := float64(r.YBar); f > t {
+		t = f
+	}
+	if f := float64(l); f > t {
+		t = f
+	}
+	return t
+}
+
+// checkPlan validates destinations and shape.
+func checkPlan(m *bsp.Machine, plan Plan) {
+	if len(plan) != m.P() {
+		panic(fmt.Sprintf("sched: plan has %d rows for %d processors", len(plan), m.P()))
+	}
+	for i, msgs := range plan {
+		for _, msg := range msgs {
+			if int(msg.Dst) < 0 || int(msg.Dst) >= m.P() {
+				panic(fmt.Sprintf("sched: proc %d message to invalid dst %d", i, msg.Dst))
+			}
+		}
+	}
+}
+
+// learnN makes n known to every processor: either via Options.KnownN, or by
+// running the prefix-sum-and-broadcast protocol on the machine (charging τ).
+func learnN(m *bsp.Machine, x []int, opt Options) (n int, tau model.Time) {
+	if opt.KnownN > 0 {
+		return opt.KnownN, 0
+	}
+	counts := make([]int64, len(x))
+	for i, v := range x {
+		counts[i] = int64(v)
+	}
+	before := m.Time()
+	total := collective.SumAllBSP(m, counts, collective.Sum)
+	return int(total), m.Time() - before
+}
+
+// runSend executes one sending superstep in which processor i's messages
+// are injected at the slots chosen by place (called once per processor; it
+// must call emit once per message with the chosen physical start slot).
+func runSend(m *bsp.Machine, plan Plan, place func(c *bsp.Ctx, emit func(slot int, msg bsp.Msg))) bsp.Stats {
+	return m.Superstep(func(c *bsp.Ctx) {
+		place(c, func(slot int, msg bsp.Msg) {
+			c.SendAt(slot, int(msg.Dst), msg)
+		})
+	})
+}
+
+// finish assembles the Result.
+func finish(m *bsp.Machine, plan Plan, st bsp.Stats, tau model.Time, period int) Result {
+	x, n, y := plan.Flits(m.P())
+	xb, yb := 0, 0
+	for i := range x {
+		if x[i] > xb {
+			xb = x[i]
+		}
+		if y[i] > yb {
+			yb = y[i]
+		}
+	}
+	return Result{
+		Time:   st.Cost + tau,
+		Tau:    tau,
+		Send:   st,
+		N:      n,
+		XBar:   xb,
+		YBar:   yb,
+		Period: period,
+	}
+}
+
+// period returns the cyclic schedule period T = ⌈(1+ε)n/m⌉, at least 1.
+func period(n, m int, eps float64) int {
+	t := int((1 + eps) * float64(n) / float64(m))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// UnbalancedSend runs Algorithm Unbalanced-Send (Theorem 6.2). Messages of
+// length > 1 use the paper's long-message modification: a message whose
+// cyclic allocation crosses the period boundary is sent straight through in
+// consecutive steps (additive ℓ̂).
+func UnbalancedSend(m *bsp.Machine, plan Plan, opt Options) Result {
+	checkPlan(m, plan)
+	x, _, _ := plan.Flits(m.P())
+	n, tau := learnN(m, x, opt)
+	T := period(n, m.Cost().M, opt.eps())
+	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+		i := c.ID()
+		if x[i] == 0 {
+			return
+		}
+		if x[i] > T {
+			// Overloaded processor: send everything consecutively from 0.
+			slot := 0
+			for _, msg := range plan[i] {
+				emit(slot, msg)
+				slot += msg.Flits()
+			}
+			return
+		}
+		j := c.RNG().Intn(T)
+		cur := j
+		for _, msg := range plan[i] {
+			start := cur % T
+			// The flits of one message go consecutively from start; if the
+			// allocation would wrap past T the message simply runs past the
+			// period (at most one message per processor can cross, since
+			// x_i <= T).
+			emit(start, msg)
+			cur += msg.Flits()
+		}
+	})
+	return finish(m, plan, st, tau, T)
+}
+
+// UnbalancedConsecutiveSend runs Algorithm Unbalanced-Consecutive-Send
+// (Theorem 6.3): a processor with x_i <= T sends all its flits consecutively
+// from a uniformly random start in [0, T); the expected completion gains an
+// additive x̄' term (x̄' = max x_i over non-overloaded processors).
+func UnbalancedConsecutiveSend(m *bsp.Machine, plan Plan, opt Options) Result {
+	checkPlan(m, plan)
+	x, _, _ := plan.Flits(m.P())
+	n, tau := learnN(m, x, opt)
+	T := period(n, m.Cost().M, opt.eps())
+	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+		i := c.ID()
+		if x[i] == 0 {
+			return
+		}
+		slot := 0
+		if x[i] <= T {
+			slot = c.RNG().Intn(T)
+		}
+		for _, msg := range plan[i] {
+			emit(slot, msg)
+			slot += msg.Flits()
+		}
+	})
+	return finish(m, plan, st, tau, T)
+}
+
+// UnbalancedGranularSend runs Algorithm Unbalanced-Granular-Send
+// (Theorem 6.4): start slots are restricted to multiples of the granularity
+// t' = max(1, n/p), so the failure probability depends on p rather than n
+// (stated requirement p < e^{αm} instead of n < e^{αm}). The period is
+// c·n/m with c = Options.GranularC.
+func UnbalancedGranularSend(m *bsp.Machine, plan Plan, opt Options) Result {
+	checkPlan(m, plan)
+	p := m.P()
+	x, _, _ := plan.Flits(p)
+	n, tau := learnN(m, x, opt)
+	mm := m.Cost().M
+	tGran := n / p
+	if tGran < 1 {
+		tGran = 1
+	}
+	T := int(opt.granularC() * float64(n) / float64(mm))
+	if T < 1 {
+		T = 1
+	}
+	nOverM := n / mm
+	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+		i := c.ID()
+		if x[i] == 0 {
+			return
+		}
+		slot := 0
+		if x[i] <= nOverM {
+			// Random start among granules that leave room for x_i flits.
+			granules := (T - x[i]) / tGran
+			if granules > 0 {
+				slot = c.RNG().Intn(granules) * tGran
+			}
+		}
+		for _, msg := range plan[i] {
+			emit(slot, msg)
+			slot += msg.Flits()
+		}
+	})
+	return finish(m, plan, st, tau, T)
+}
+
+// NaiveSend injects every processor's messages consecutively from step 0 —
+// what a schedule-oblivious algorithm does. On a globally-limited machine
+// with many active senders this overloads the early steps and, under the
+// exponential penalty, is catastrophically slow; it is the ablation baseline
+// for the value of scheduling.
+func NaiveSend(m *bsp.Machine, plan Plan) Result {
+	checkPlan(m, plan)
+	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+		slot := 0
+		for _, msg := range plan[c.ID()] {
+			emit(slot, msg)
+			slot += msg.Flits()
+		}
+	})
+	return finish(m, plan, st, 0, 0)
+}
+
+// OfflineSend injects messages according to the optimal offline schedule:
+// global flit ranks are assigned by processor order and flit k goes to step
+// k mod T with T = max(⌈n/m⌉, x̄) (long messages straight through on a
+// period crossing, as in UnbalancedSend). Each step carries at most
+// ⌈n/T⌉ <= m flits. The offline ranks are computed for free — this baseline
+// models a scheduler with complete advance knowledge, the yardstick of
+// Theorems 6.2–6.4.
+func OfflineSend(m *bsp.Machine, plan Plan) Result {
+	checkPlan(m, plan)
+	p := m.P()
+	x, n, _ := plan.Flits(p)
+	xb := 0
+	for _, v := range x {
+		if v > xb {
+			xb = v
+		}
+	}
+	T := (n + m.Cost().M - 1) / m.Cost().M
+	if xb > T {
+		T = xb
+	}
+	if T < 1 {
+		T = 1
+	}
+	rank := make([]int, p) // global flit rank of proc i's first flit
+	for i, acc := 1, 0; i < p; i++ {
+		acc += x[i-1]
+		rank[i] = acc
+	}
+	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+		i := c.ID()
+		cur := rank[i]
+		for _, msg := range plan[i] {
+			emit(cur%T, msg)
+			cur += msg.Flits()
+		}
+	})
+	return finish(m, plan, st, 0, T)
+}
+
+// TemplateSend is the paper's closing remark on Unbalanced-Send: "the
+// algorithm can be easily adapted to any other sending pattern, such as if
+// we insist on having a certain separation between every two messages sent
+// by the same processor. We can use the same algorithm on any sending
+// pattern 'template', where the sending times are chosen by cyclically
+// shifting the template by j slots."
+//
+// Here the template enforces a gap of `sep` idle steps between consecutive
+// messages of one processor: message k occupies template slot k·(sep+1),
+// cyclically shifted by a uniform j. The period scales to
+// (1+ε)·n·(sep+1)/m so the per-step expected load stays m/(1+ε).
+func TemplateSend(m *bsp.Machine, plan Plan, sep int, opt Options) Result {
+	if sep < 0 {
+		panic("sched: negative separation")
+	}
+	checkPlan(m, plan)
+	x, _, _ := plan.Flits(m.P())
+	n, tau := learnN(m, x, opt)
+	stride := sep + 1
+	T := period(n*stride, m.Cost().M, opt.eps())
+	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+		i := c.ID()
+		if x[i] == 0 {
+			return
+		}
+		if x[i]*stride > T {
+			// Overloaded: consecutive with the required separation, from 0.
+			slot := 0
+			for _, msg := range plan[i] {
+				emit(slot, msg)
+				slot += msg.Flits() + sep
+			}
+			return
+		}
+		j := c.RNG().Intn(T)
+		cur := j
+		for _, msg := range plan[i] {
+			emit(cur%T, msg)
+			cur += msg.Flits() + sep
+		}
+	})
+	return finish(m, plan, st, tau, T)
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"parbw/internal/bsp"
+	"parbw/internal/xrand"
+)
+
+// Workload generators produce the skewed h-relations the paper motivates:
+// "processors can have varying amounts of messages to send due to skew in
+// the inputs, skew in the fraction of data that is already local, skew in
+// the amount of new values produced, skew in the number of new tasks
+// spawned" (Section 6). All generators draw destinations uniformly unless
+// stated otherwise and are deterministic given the source.
+
+// UniformPlan gives every processor perMsgs unit messages with uniformly
+// random destinations — the balanced case where locally- and
+// globally-limited models coincide.
+func UniformPlan(rng *xrand.Source, p, perMsgs int) Plan {
+	plan := make(Plan, p)
+	for i := range plan {
+		msgs := make([]bsp.Msg, perMsgs)
+		for j := range msgs {
+			msgs[j] = bsp.Msg{Dst: int32(rng.Intn(p)), A: int64(i)}
+		}
+		plan[i] = msgs
+	}
+	return plan
+}
+
+// PointPlan concentrates all n messages at a single sender (processor 0),
+// with distinct round-robin destinations — the one-to-all-style extreme
+// where the locally-limited lower bound g·h is worst relative to the
+// globally-limited max(n/m, h).
+func PointPlan(p, n int) Plan {
+	plan := make(Plan, p)
+	msgs := make([]bsp.Msg, n)
+	for j := range msgs {
+		d := 0
+		if p > 1 {
+			d = 1 + j%(p-1)
+		}
+		msgs[j] = bsp.Msg{Dst: int32(d), A: int64(j)}
+	}
+	plan[0] = msgs
+	return plan
+}
+
+// ZipfPlan draws each of n messages' senders from a Zipf distribution with
+// the given skew exponent, modeling input skew; destinations are uniform.
+func ZipfPlan(rng *xrand.Source, p, n int, skew float64) Plan {
+	plan := make(Plan, p)
+	z := xrand.NewZipf(rng, p, skew)
+	for k := 0; k < n; k++ {
+		src := z.Draw()
+		plan[src] = append(plan[src], bsp.Msg{Dst: int32(rng.Intn(p)), A: int64(k)})
+	}
+	return plan
+}
+
+// HalfHalfPlan gives the first half of the processors heavy flows of
+// heavyPer messages each and the rest lightPer each — the "intermediate
+// join result" skew shape.
+func HalfHalfPlan(rng *xrand.Source, p, heavyPer, lightPer int) Plan {
+	plan := make(Plan, p)
+	for i := range plan {
+		per := lightPer
+		if i < p/2 {
+			per = heavyPer
+		}
+		msgs := make([]bsp.Msg, per)
+		for j := range msgs {
+			msgs[j] = bsp.Msg{Dst: int32(rng.Intn(p)), A: int64(i)}
+		}
+		plan[i] = msgs
+	}
+	return plan
+}
+
+// PermutationPlan sends exactly one unit message per processor along a
+// random permutation — a perfectly balanced 1-relation.
+func PermutationPlan(rng *xrand.Source, p int) Plan {
+	perm := rng.Perm(p)
+	plan := make(Plan, p)
+	for i := range plan {
+		plan[i] = []bsp.Msg{{Dst: int32(perm[i]), A: int64(i)}}
+	}
+	return plan
+}
+
+// TotalExchangePlan is the balanced total exchange (all-to-all personalized
+// communication): every processor sends one message of length flitsPer to
+// every other processor.
+func TotalExchangePlan(p, flitsPer int) Plan {
+	plan := make(Plan, p)
+	for i := range plan {
+		msgs := make([]bsp.Msg, 0, p-1)
+		for d := 0; d < p; d++ {
+			if d == i {
+				continue
+			}
+			msgs = append(msgs, bsp.Msg{Dst: int32(d), Len: int32(flitsPer), A: int64(i)})
+		}
+		plan[i] = msgs
+	}
+	return plan
+}
+
+// UnbalancedExchangePlan is the unbalanced total exchange ("chatting" of
+// Bhatt et al.): processor i sends to processor j a message of length
+// drawn uniformly from [0, maxLen] (length 0 means no message).
+func UnbalancedExchangePlan(rng *xrand.Source, p, maxLen int) Plan {
+	plan := make(Plan, p)
+	for i := range plan {
+		var msgs []bsp.Msg
+		for d := 0; d < p; d++ {
+			if d == i {
+				continue
+			}
+			l := rng.Intn(maxLen + 1)
+			if l == 0 {
+				continue
+			}
+			msgs = append(msgs, bsp.Msg{Dst: int32(d), Len: int32(l), A: int64(i)})
+		}
+		plan[i] = msgs
+	}
+	return plan
+}
+
+// SkewedExchangePlan is an unbalanced total exchange with per-sender skew:
+// the first heavy senders send a message of length heavyLen to every other
+// processor, the rest send length lightLen (0 = nothing). This is the
+// "chatting" shape where a few processors dominate the traffic and the
+// locally-limited g·h bound is Θ(g) worse than the globally-limited
+// max(n/m, h).
+func SkewedExchangePlan(p, heavy, heavyLen, lightLen int) Plan {
+	plan := make(Plan, p)
+	for i := range plan {
+		l := lightLen
+		if i < heavy {
+			l = heavyLen
+		}
+		if l <= 0 {
+			continue
+		}
+		var msgs []bsp.Msg
+		for d := 0; d < p; d++ {
+			if d == i {
+				continue
+			}
+			msgs = append(msgs, bsp.Msg{Dst: int32(d), Len: int32(l), A: int64(i)})
+		}
+		plan[i] = msgs
+	}
+	return plan
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parbw/internal/xrand"
+)
+
+func validPlan(plan Plan, p int) bool {
+	for _, msgs := range plan {
+		for _, msg := range msgs {
+			if int(msg.Dst) < 0 || int(msg.Dst) >= p {
+				return false
+			}
+		}
+	}
+	return len(plan) == p
+}
+
+func TestUniformPlanShape(t *testing.T) {
+	rng := xrand.New(1)
+	p, per := 16, 7
+	plan := UniformPlan(rng, p, per)
+	if !validPlan(plan, p) {
+		t.Fatal("invalid plan")
+	}
+	x, n, _ := plan.Flits(p)
+	if n != p*per {
+		t.Fatalf("n = %d, want %d", n, p*per)
+	}
+	for i, v := range x {
+		if v != per {
+			t.Fatalf("x[%d] = %d, want %d", i, v, per)
+		}
+	}
+}
+
+func TestPointPlanShape(t *testing.T) {
+	plan := PointPlan(16, 100)
+	if !validPlan(plan, 16) {
+		t.Fatal("invalid plan")
+	}
+	x, n, _ := plan.Flits(16)
+	if n != 100 || x[0] != 100 {
+		t.Fatalf("point plan x=%v n=%d", x, n)
+	}
+	for _, msg := range plan[0] {
+		if msg.Dst == 0 {
+			t.Fatal("point plan sends to itself")
+		}
+	}
+	// Single-processor degenerate case must not panic.
+	p1 := PointPlan(1, 3)
+	if len(p1[0]) != 3 {
+		t.Fatal("p=1 point plan wrong")
+	}
+}
+
+func TestZipfPlanSkew(t *testing.T) {
+	rng := xrand.New(2)
+	p, n := 32, 3200
+	plan := ZipfPlan(rng, p, n, 1.5)
+	if !validPlan(plan, p) {
+		t.Fatal("invalid plan")
+	}
+	x, total, _ := plan.Flits(p)
+	if total != n {
+		t.Fatalf("total = %d", total)
+	}
+	max := 0
+	for _, v := range x {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 3*n/p {
+		t.Fatalf("zipf 1.5 not skewed: max %d vs mean %d", max, n/p)
+	}
+}
+
+func TestHalfHalfPlanShape(t *testing.T) {
+	rng := xrand.New(3)
+	p := 16
+	plan := HalfHalfPlan(rng, p, 10, 2)
+	x, _, _ := plan.Flits(p)
+	for i := 0; i < p/2; i++ {
+		if x[i] != 10 {
+			t.Fatalf("heavy half x[%d] = %d", i, x[i])
+		}
+	}
+	for i := p / 2; i < p; i++ {
+		if x[i] != 2 {
+			t.Fatalf("light half x[%d] = %d", i, x[i])
+		}
+	}
+}
+
+func TestPermutationPlanIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := 2 + int(seed%30)
+		plan := PermutationPlan(rng, p)
+		_, n, y := plan.Flits(p)
+		if n != p {
+			return false
+		}
+		for _, v := range y {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalExchangePlanShape(t *testing.T) {
+	p, fl := 8, 3
+	plan := TotalExchangePlan(p, fl)
+	x, n, y := plan.Flits(p)
+	if n != p*(p-1)*fl {
+		t.Fatalf("n = %d", n)
+	}
+	for i := range x {
+		if x[i] != (p-1)*fl || y[i] != (p-1)*fl {
+			t.Fatalf("not balanced at %d: x=%d y=%d", i, x[i], y[i])
+		}
+	}
+	// No self-messages.
+	for i, msgs := range plan {
+		for _, msg := range msgs {
+			if int(msg.Dst) == i {
+				t.Fatal("self message in total exchange")
+			}
+		}
+	}
+}
+
+func TestUnbalancedExchangePlanBounds(t *testing.T) {
+	rng := xrand.New(4)
+	p, maxLen := 12, 5
+	plan := UnbalancedExchangePlan(rng, p, maxLen)
+	if !validPlan(plan, p) {
+		t.Fatal("invalid plan")
+	}
+	if plan.MaxLen() > maxLen {
+		t.Fatalf("length %d exceeds max %d", plan.MaxLen(), maxLen)
+	}
+}
+
+func TestSkewedExchangePlanShape(t *testing.T) {
+	p := 16
+	plan := SkewedExchangePlan(p, 2, 8, 1)
+	x, _, _ := plan.Flits(p)
+	if x[0] != (p-1)*8 || x[1] != (p-1)*8 {
+		t.Fatalf("heavy senders wrong: %v", x[:2])
+	}
+	if x[2] != p-1 {
+		t.Fatalf("light sender wrong: %d", x[2])
+	}
+	// lightLen = 0 drops light senders entirely.
+	plan0 := SkewedExchangePlan(p, 2, 8, 0)
+	x0, _, _ := plan0.Flits(p)
+	if x0[5] != 0 {
+		t.Fatal("lightLen=0 still sends")
+	}
+}

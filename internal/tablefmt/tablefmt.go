@@ -1,0 +1,120 @@
+// Package tablefmt renders aligned ASCII tables and CSV for the experiment
+// harness's paper-style reports.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows under a header.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// Row appends a row; values are formatted with %v (floats compactly).
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = format(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func format(c any) string {
+	switch v := c.(type) {
+	case float64:
+		switch {
+		case v == 0:
+			return "0"
+		case v >= 1e7 || v < 1e-3:
+			return fmt.Sprintf("%.3g", v)
+		case v >= 100:
+			return fmt.Sprintf("%.0f", v)
+		default:
+			return fmt.Sprintf("%.3g", v)
+		}
+	case float32:
+		return format(float64(v))
+	default:
+		return fmt.Sprint(c)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// NRows returns the number of data rows.
+func (t *Table) NRows() int { return len(t.rows) }

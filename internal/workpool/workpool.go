@@ -1,0 +1,118 @@
+// Package workpool provides a bounded parallel-for used by the machine
+// engines to execute the per-processor programs of a superstep on real CPU
+// cores. The simulated machine may have many more processors than the host
+// has cores; workpool chunks the index space so that goroutine overhead stays
+// proportional to the core count, not the simulated processor count.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// defaultWorkers is the number of OS-level workers used when a Pool is
+// created with workers <= 0.
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Pool runs parallel-for loops with a fixed worker count. The zero value is
+// not usable; construct with New. Pool is safe for concurrent use, but the
+// simulator engines call it from a single driver goroutine.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// For invokes fn(i) for every i in [0, n), distributing contiguous chunks of
+// the index space across the pool's workers. It returns after all calls have
+// completed. fn must be safe to call concurrently for distinct i.
+//
+// Chunking is contiguous rather than strided so that per-processor state
+// arrays are traversed with good locality, which matters when simulating
+// tens of thousands of processors.
+func (p *Pool) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunks invokes fn(lo, hi) for contiguous disjoint ranges covering
+// [0, n). It is a lower-level variant of For that lets the caller amortize
+// per-chunk setup (e.g. acquiring a per-worker scratch buffer).
+func (p *Pool) ForChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

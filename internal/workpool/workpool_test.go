@@ -1,0 +1,107 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		p := New(workers)
+		const n = 1000
+		var hits [n]int32
+		p.For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	p := New(4)
+	called := false
+	p.For(0, func(i int) { called = true })
+	p.For(-5, func(i int) { called = true })
+	if called {
+		t.Fatal("For called fn for non-positive n")
+	}
+}
+
+func TestForFewerItemsThanWorkers(t *testing.T) {
+	p := New(64)
+	var count int32
+	p.For(3, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) produced < 1 worker")
+	}
+	if New(-1).Workers() < 1 {
+		t.Fatal("New(-1) produced < 1 worker")
+	}
+	if New(5).Workers() != 5 {
+		t.Fatal("New(5) did not keep worker count")
+	}
+}
+
+func TestForChunksCoverDisjointly(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed%5000) + 1
+		workers := int(seed%7) + 1
+		p := New(workers)
+		covered := make([]int32, n)
+		p.ForChunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForChunksSingleWorkerSingleCall(t *testing.T) {
+	p := New(1)
+	calls := 0
+	p.ForChunks(100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("single-worker chunk = [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestForChunksZero(t *testing.T) {
+	p := New(4)
+	called := false
+	p.ForChunks(0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("ForChunks called for n=0")
+	}
+}
+
+func TestForChunksFewerItemsThanWorkers(t *testing.T) {
+	p := New(16)
+	var total int32
+	p.ForChunks(3, func(lo, hi int) { atomic.AddInt32(&total, int32(hi-lo)) })
+	if total != 3 {
+		t.Fatalf("covered %d, want 3", total)
+	}
+}
