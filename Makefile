@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench experiments verify export clean
+.PHONY: all build vet test race bench experiments verify export serve clean
 
 all: build test
 
@@ -11,8 +11,15 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector (CI runs this).
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure; simulated model time reported as
 # custom metrics (simtime-*, sep-x).
@@ -30,6 +37,10 @@ verify:
 # CSVs for downstream plotting.
 export:
 	$(GO) run ./cmd/bandsim export results
+
+# The HTTP run service (job queue + content-addressed run store).
+serve:
+	$(GO) run ./cmd/bandsim serve
 
 # The capture files the repo ships with.
 outputs:

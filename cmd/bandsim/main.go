@@ -10,12 +10,14 @@
 //	bandsim run <id>...          run selected experiments
 //	bandsim run all              run everything (this regenerates Table 1
 //	                             and every per-theorem table)
+//	bandsim serve                HTTP run service (see serve.go)
 //
 // Flags:
 //
 //	-seed N    experiment seed (default 1)
 //	-quick     smaller parameter sweeps
 //	-csv       emit CSV instead of aligned tables
+//	-json      emit structured result JSON (run only)
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	csv := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit structured result JSON (run only)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -71,20 +74,41 @@ func main() {
 		for _, e := range harness.All() {
 			fmt.Printf("%-20s %s — %s\n", e.ID, e.Title, e.Source)
 		}
+	case "serve":
+		if err := runServe(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bandsim:", err)
+			os.Exit(1)
+		}
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "bandsim: run needs experiment ids (or 'all')")
 			os.Exit(2)
 		}
-		if args[1] == "all" {
-			harness.RunAll(os.Stdout, cfg)
-			return
+		ids := args[1:]
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, e := range harness.All() {
+				ids = append(ids, e.ID)
+			}
 		}
-		for _, id := range args[1:] {
-			e, ok := harness.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "bandsim: unknown experiment %q (try 'bandsim list')\n", id)
+		// Validate the whole selection before running any of it.
+		for _, id := range ids {
+			if _, ok := harness.ByID(id); !ok {
+				fmt.Fprint(os.Stderr, unknownIDMessage(id))
 				os.Exit(1)
+			}
+		}
+		for _, id := range ids {
+			e, _ := harness.ByID(id)
+			if *jsonOut {
+				res := e.Run(nil, cfg)
+				data, err := res.CanonicalJSON()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bandsim:", err)
+					os.Exit(1)
+				}
+				os.Stdout.Write(append(data, '\n'))
+				continue
 			}
 			fmt.Printf("\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
 			e.Run(os.Stdout, cfg)
@@ -93,6 +117,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+}
+
+// unknownIDMessage formats the error for a mistyped experiment id, with the
+// registry's closest matches when there are any.
+func unknownIDMessage(id string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bandsim: unknown experiment %q\n", id)
+	if sug := harness.Suggest(id); len(sug) > 0 {
+		b.WriteString("did you mean:\n")
+		for _, s := range sug {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	} else {
+		b.WriteString("run 'bandsim list' for all experiment ids\n")
+	}
+	return b.String()
 }
 
 func usage() {
@@ -104,6 +144,8 @@ usage:
   bandsim [flags] export [dir]    write every experiment as CSV (default dir: results/)
   bandsim [flags] verify          run the reproduction checklist (PASS/FAIL per claim)
   bandsim [flags] trace <algo>    per-superstep timeline of one algorithm run
+  bandsim serve [serve flags]     HTTP run service: job queue + sweep executor over
+                                  a content-addressed run store ('serve -h' for flags)
 
 flags:
 `)

@@ -40,6 +40,26 @@ func TestRunTraceUnknown(t *testing.T) {
 	}
 }
 
+func TestUnknownIDMessageSuggests(t *testing.T) {
+	msg := unknownIDMessage("table1/brodcast")
+	if !strings.Contains(msg, `unknown experiment "table1/brodcast"`) {
+		t.Fatalf("message missing id: %q", msg)
+	}
+	if !strings.Contains(msg, "did you mean") || !strings.Contains(msg, "table1/broadcast") {
+		t.Fatalf("message missing suggestion: %q", msg)
+	}
+}
+
+func TestUnknownIDMessageNoMatches(t *testing.T) {
+	msg := unknownIDMessage("zzzzqqq")
+	if !strings.Contains(msg, "bandsim list") {
+		t.Fatalf("fallback hint missing: %q", msg)
+	}
+	if strings.Contains(msg, "did you mean") {
+		t.Fatalf("bogus suggestions for nonsense id: %q", msg)
+	}
+}
+
 func TestExportAll(t *testing.T) {
 	dir := t.TempDir()
 	if err := exportAll(dir, harness.Config{Seed: 1, Quick: true}); err != nil {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parbw/internal/runstore"
+	"parbw/internal/service"
+)
+
+// runServe starts the experiment run service: the HTTP API over the job
+// queue, sweep executor, and content-addressed run store.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	storeDir := fs.String("store", ".bandsim/runs", "run-store directory")
+	maxMem := fs.Int("store-mem", runstore.DefaultMaxMem, "in-memory run-store entries (LRU bound)")
+	workers := fs.Int("workers", 0, "sweep executor fan-out width (0 = GOMAXPROCS)")
+	timeout := fs.Duration("job-timeout", 5*time.Minute, "default per-job timeout")
+	retries := fs.Int("retries", 2, "extra attempts per failed task")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bandsim serve [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := runstore.Open(*storeDir, *maxMem)
+	if err != nil {
+		return err
+	}
+	r := *retries
+	if r == 0 {
+		r = -1 // Options treats <0 as "no retries"; 0 selects the default
+	}
+	svc, err := service.New(service.Options{
+		Store:      store,
+		Workers:    *workers,
+		JobTimeout: *timeout,
+		Retries:    r,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("bandsim serve: listening on http://%s (store %s)\n", *addr, store.Dir())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Println("\nbandsim serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"io"
 
 	"parbw/internal/bsp"
 	"parbw/internal/dynamic"
@@ -17,23 +16,24 @@ func init() {
 		ID:     "dyn/bspg",
 		Title:  "Dynamic routing stability threshold on the BSP(g)",
 		Source: "Theorem 6.5",
-		Run:    runDynBSPg,
+		run:    runDynBSPg,
 	})
 	register(Experiment{
 		ID:     "dyn/bspm",
 		Title:  "Algorithm B on the BSP(m): stability region and service time",
 		Source: "Theorem 6.7 and Claim 6.8",
-		Run:    runDynBSPm,
+		run:    runDynBSPm,
 	})
 	register(Experiment{
 		ID:     "ablation/listrank",
 		Title:  "List ranking: pointer jumping vs random-mate contraction",
 		Source: "DESIGN.md ablation; Table 1 row 4 machinery",
-		Run:    runListRankAblation,
+		run:    runListRankAblation,
 	})
 }
 
-func runDynBSPg(w io.Writer, cfg Config) {
+func runDynBSPg(rec *Recorder) {
+	cfg := rec.Cfg
 	p, g, l := 16, 8, 4
 	windows := pick(cfg, 120, 40)
 	t := tablefmt.New("BSP(g) interval router, single-source flow (g=8, threshold 1/g = 0.125)",
@@ -46,7 +46,7 @@ func runDynBSPg(w io.Writer, cfg Config) {
 		t.Row(beta, beta*float64(g), stableStr(res.LooksStable()),
 			res.Backlog[len(res.Backlog)-1], res.MaxBacklog)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	t2 := tablefmt.New("same flows on the BSP(m), m = p/g = 2 (Algorithm B)",
 		"β", "stable?", "final backlog", "max backlog")
@@ -58,7 +58,7 @@ func runDynBSPg(w io.Writer, cfg Config) {
 		t2.Row(beta, stableStr(res.LooksStable()),
 			res.Backlog[len(res.Backlog)-1], res.MaxBacklog)
 	}
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 
 	// Corollary 6.6: no algorithm is stable on the BSP(g) above total rate
 	// p/g, even with perfectly balanced (uniform) traffic.
@@ -71,10 +71,11 @@ func runDynBSPg(w io.Writer, cfg Config) {
 		res := dynamic.RunBSPgInterval(m, adv, lmt, windows)
 		t3.Row(alpha, alpha*float64(g)/float64(p), stableStr(res.LooksStable()), res.MaxBacklog)
 	}
-	emit(w, cfg, t3)
+	rec.Emit(t3)
 }
 
-func runDynBSPm(w io.Writer, cfg Config) {
+func runDynBSPm(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := 32, 8, 2
 	windows := pick(cfg, 200, 50)
 	wW := 64
@@ -89,7 +90,7 @@ func runDynBSPm(w io.Writer, cfg Config) {
 		t.Row(alpha, frac, stableStr(res.LooksStable()), res.MaxBacklog,
 			res.MeanService(), wW)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	// Service-time comparison against the Claim 6.8 dominating system and
 	// the Theorem 6.7 O(w²/u) bound.
@@ -102,7 +103,7 @@ func runDynBSPm(w io.Writer, cfg Config) {
 	t2.Row("Thm 6.7 expected-service bound 2.42·w²/u", lower.ExpectedServiceTime(wW, u))
 	mg1 := queue.MG1{Lambda: 0.1, Mu1: sd.Mean(), Mu2: sd.SecondMoment()}
 	t2.Row("M/G/1 mean queue at departure (r=0.1)", mg1.MeanQueueAtDeparture())
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 
 	// Variable-length extension: Algorithm B parameterized by the
 	// consecutive-flit scheduler (Theorem 6.7's "algorithm A" slot filled
@@ -118,10 +119,11 @@ func runDynBSPm(w io.Writer, cfg Config) {
 			dynamic.ConsecutiveSendScheduler(0.25))
 		t3.Row(fl, alpha*float64(fl), stableStr(res.LooksStable()), res.MaxBacklog, res.MeanService())
 	}
-	emit(w, cfg, t3)
+	rec.Emit(t3)
 }
 
-func runListRankAblation(w io.Writer, cfg Config) {
+func runListRankAblation(rec *Recorder) {
+	cfg := rec.Cfg
 	// Fixed small aggregate bandwidth m = 8 — the m ≪ p regime where the
 	// n/m term dominates. Pointer jumping moves Θ(n) messages per round
 	// (Θ((n/m)·lg n) total); contraction's geometrically shrinking rounds
@@ -137,7 +139,7 @@ func runListRankAblation(w io.Writer, cfg Config) {
 		problemsListRankContract(mc, list)
 		t.Row(p, mj.Time(), mc.Time(), mj.Time()/mc.Time())
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 func stableStr(b bool) string {

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"io"
 
 	"parbw/internal/async"
 	"parbw/internal/bsp"
@@ -22,29 +21,30 @@ func init() {
 		ID:     "sched/qsm-static",
 		Title:  "Unbalanced-Send on the QSM(m) (the paper's reader exercise)",
 		Source: "Section 6 intro: \"the same techniques ... for the QSM(m)\"",
-		Run:    runSchedQSM,
+		run:    runSchedQSM,
 	})
 	register(Experiment{
 		ID:     "emul/pram-map",
 		Title:  "Generic EREW-PRAM → QSM(m) mapping, O(n/m + t + w/m)",
 		Source: "Section 4 observation",
-		Run:    runPRAMMap,
+		run:    runPRAMMap,
 	})
 	register(Experiment{
 		ID:     "dyn/phase",
 		Title:  "Dynamic stability phase diagram over (α, β)",
 		Source: "Theorems 6.5 and 6.7 combined",
-		Run:    runDynPhase,
+		run:    runDynPhase,
 	})
 	register(Experiment{
 		ID:     "coll/pipeline",
 		Title:  "Pipelined k-item broadcast and gather",
 		Source: "collective machinery behind the Table 1 primitives",
-		Run:    runPipeline,
+		run:    runPipeline,
 	})
 }
 
-func runSchedQSM(w io.Writer, cfg Config) {
+func runSchedQSM(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, blk := pick(cfg, 64, 32), pick(cfg, 16, 8), 64
 	eps := 0.25
 	t := tablefmt.New("QSM(m) write scheduling: Unbalanced-Send vs naive (exp penalty)",
@@ -59,7 +59,7 @@ func runSchedQSM(w io.Writer, cfg Config) {
 		t.Row(fmt.Sprintf("zipf %.1f", skew), rs.N, rs.XBar, rs.Time, rn.Time,
 			rn.Time/rs.Time, rs.Phase.MaxSlot, mm)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 // qsmZipfPlan mirrors the test generator: disjoint per-processor address
@@ -84,7 +84,8 @@ func expQSMm(mm int) (c modelCost) {
 	return c
 }
 
-func runPRAMMap(w io.Writer, cfg Config) {
+func runPRAMMap(rec *Recorder) {
+	cfg := rec.Cfg
 	n := pick(cfg, 512, 128)
 	t := tablefmt.New("prefix-doubling summation (t=2·lg n steps, w≈2n·lg n) mapped to the QSM(m)",
 		"n", "m", "QSM time", "t + w/m", "ratio", "overloads")
@@ -101,10 +102,11 @@ func runPRAMMap(w io.Writer, cfg Config) {
 		pred := float64(st.Steps) + float64(st.Work)/float64(mm)
 		t.Row(n, mm, st.QSMTime, pred, st.QSMTime/pred, st.Overload)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runDynPhase(w io.Writer, cfg Config) {
+func runDynPhase(rec *Recorder) {
+	cfg := rec.Cfg
 	p, g, l := 16, 8, 4
 	mm := p / g
 	windows := pick(cfg, 100, 30)
@@ -129,7 +131,7 @@ func runDynPhase(w io.Writer, cfg Config) {
 		}
 		t.Row(row...)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	t2 := tablefmt.New("single-target flows across the β axis (the Theorem 6.5 witness)",
 		"β", "BSP(g) verdict", "BSP(m) verdict")
@@ -142,7 +144,7 @@ func runDynPhase(w io.Writer, cfg Config) {
 		rm := dynamic.RunAlgorithmB(mb, adv, lmt, windows, 0.25)
 		t2.Row(beta, stableStr(rg.LooksStable()), stableStr(rm.LooksStable()))
 	}
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 }
 
 func verdictChar(stable bool) string {
@@ -152,7 +154,8 @@ func verdictChar(stable bool) string {
 	return "U"
 }
 
-func runPipeline(w io.Writer, cfg Config) {
+func runPipeline(rec *Recorder) {
+	cfg := rec.Cfg
 	p, l := pick(cfg, 256, 64), 4
 	t := tablefmt.New("k-item pipelined broadcast: pipelined vs k sequential broadcasts",
 		"model", "k", "pipelined", "sequential", "speedup")
@@ -185,7 +188,7 @@ func runPipeline(w io.Writer, cfg Config) {
 			t.Row(name, k, pipe, seq, seq/pipe)
 		}
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 // modelCost aliases keep extexp.go's helper signatures short.
@@ -207,17 +210,18 @@ func init() {
 		ID:     "ablation/sort",
 		Title:  "Sorting: splitter-free columnsort vs sample sort across n/p",
 		Source: "DESIGN.md ablation; Table 1 row 5 machinery",
-		Run:    runSortAblation,
+		run:    runSortAblation,
 	})
 	register(Experiment{
 		ID:     "sched/template",
 		Title:  "Template schedules: enforced separation between a processor's sends",
 		Source: "Section 6.1 closing remark (sending-pattern templates)",
-		Run:    runTemplate,
+		run:    runTemplate,
 	})
 }
 
-func runSortAblation(w io.Writer, cfg Config) {
+func runSortAblation(rec *Recorder) {
+	cfg := rec.Cfg
 	// depth1Q returns the largest power-of-two sorter count admitting a
 	// depth-1 columnsort (the favourable shape).
 	depth1Q := func(n, p int) int {
@@ -246,7 +250,7 @@ func runSortAblation(w io.Writer, cfg Config) {
 		problemsSampleSort(ms, keys)
 		t.Row(n, n/p, mc.Time(), ms.Time(), sortWinner(mc.Time(), ms.Time()))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	// Regime 2: n = p (Table 1). Every processor holds ONE key, so sample
 	// sort's splitter broadcast moves p·(p−1) words — Θ(p²/m) — while
@@ -267,7 +271,7 @@ func runSortAblation(w io.Writer, cfg Config) {
 		problemsSampleSort(ms, keys)
 		t2.Row(n, mc.Time(), ms.Time(), ms.Time()/mc.Time(), sortWinner(mc.Time(), ms.Time()))
 	}
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 }
 
 func sortWinner(col, smp float64) string {
@@ -277,7 +281,8 @@ func sortWinner(col, smp float64) string {
 	return "columnsort"
 }
 
-func runTemplate(w io.Writer, cfg Config) {
+func runTemplate(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 128, 32), pick(cfg, 32, 8), 4
 	rng := xrand.New(cfg.Seed)
 	plan := sched.ZipfPlan(rng, p, p*20, 1.0)
@@ -288,7 +293,7 @@ func runTemplate(w io.Writer, cfg Config) {
 		r := sched.TemplateSend(m, plan, sep, sched.Options{Eps: 0.25})
 		t.Row(sep, r.Period, r.Time, r.OptimalOffline(mm, l), r.Send.MaxSlot, r.Send.Overload)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 func problemsColumnsort(m *bsp.Machine, keys []int64, q int) { problems.ColumnsortBSP(m, keys, q) }
@@ -299,11 +304,12 @@ func init() {
 		ID:     "validate/channels",
 		Title:  "Grounding f^u: schedules on a concrete m-channel contention network",
 		Source: "Section 2 penalty discussion + Section 3 multiple-channel comparison",
-		Run:    runChannels,
+		run:    runChannels,
 	})
 }
 
-func runChannels(w io.Writer, cfg Config) {
+func runChannels(rec *Recorder) {
+	cfg := rec.Cfg
 	p := pick(cfg, 64, 32)
 	per := pick(cfg, 16, 8)
 	x := make([]int, p)
@@ -326,14 +332,14 @@ func runChannels(w io.Writer, cfg Config) {
 		t.Row(mm, n, paced.Makespan, burst.Makespan, backoff.Makespan,
 			float64(burst.Makespan)/float64(paced.Makespan), ideal)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	t2 := tablefmt.New("throughput collapse: expected deliveries/step vs contenders (m=8)",
 		"contenders k", "k/m", "E[deliveries] k(1−1/m)^{k−1}", "f^u charge e^{k/m−1}")
 	for _, k := range []int{2, 8, 16, 32, 64} {
 		t2.Row(k, float64(k)/8, netsim.ExpectedThroughput(k, 8), model.ExpPenalty(k, 8))
 	}
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 }
 
 func init() {
@@ -341,17 +347,18 @@ func init() {
 		ID:     "ablation/combinetree",
 		Title:  "Combine-tree fan-in for the τ term: binary vs L-ary",
 		Source: "DESIGN.md ablation; τ = O(p/m + L + L·lg m/lg L)",
-		Run:    runCombineTree,
+		run:    runCombineTree,
 	})
 	register(Experiment{
 		ID:     "ablation/wraparound",
 		Title:  "Cyclic (wraparound) vs consecutive slot assignment",
 		Source: "DESIGN.md ablation; Theorems 6.2 vs 6.3",
-		Run:    runWraparound,
+		run:    runWraparound,
 	})
 }
 
-func runCombineTree(w io.Writer, cfg Config) {
+func runCombineTree(rec *Recorder) {
+	cfg := rec.Cfg
 	p := pick(cfg, 4096, 512)
 	t := tablefmt.New("reduction on BSP(m): τ vs tree fan-in d (L-ary is the paper's choice)",
 		"m", "L", "d=2", "d=4", "d=L", "L-ary speedup vs binary")
@@ -371,10 +378,11 @@ func runCombineTree(w io.Writer, cfg Config) {
 		d2, d4, dl := run(2), run(4), run(l)
 		t.Row(mm, l, d2, d4, dl, d2/dl)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runWraparound(w io.Writer, cfg Config) {
+func runWraparound(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 256, 64), pick(cfg, 32, 8), 4
 	t := tablefmt.New("wraparound (Thm 6.2) vs consecutive (Thm 6.3) slot assignment",
 		"workload", "wraparound time", "consecutive time", "consec/wrap", "wrap maxslot", "consec maxslot")
@@ -387,7 +395,7 @@ func runWraparound(w io.Writer, cfg Config) {
 		rc := sched.UnbalancedConsecutiveSend(mc, plan, sched.Options{Eps: 0.25})
 		t.Row(name, rw.Time, rc.Time, rc.Time/rw.Time, rw.Send.MaxSlot, rc.Send.MaxSlot)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 func init() {
@@ -395,11 +403,12 @@ func init() {
 		ID:     "async/backpressure",
 		Title:  "Asynchronous BSP(m): flow control replaces explicit scheduling",
 		Source: "Section 1 remark (\"many of our results extend to more asynchronous models\")",
-		Run:    runAsync,
+		run:    runAsync,
 	})
 }
 
-func runAsync(w io.Writer, cfg Config) {
+func runAsync(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 128, 32), 16, 4
 	per := pick(cfg, 32, 8)
 	t := tablefmt.New("the same oblivious burst on three machines (uniform, per-proc load)",
@@ -435,5 +444,5 @@ func runAsync(w io.Writer, cfg Config) {
 		}
 	})
 	t.Row("async naive (backpressure)", done, done/opt)
-	emit(w, cfg, t)
+	rec.Emit(t)
 }

@@ -4,17 +4,30 @@
 // the Section 6.1 scheduling theorems, the Section 6.2 dynamic routing
 // theorems, and the ablations called out in DESIGN.md.
 //
-// Each experiment prints one or more paper-style tables with measured
-// simulated time next to the paper's predicted bound and their ratio. The
-// bounds are asymptotic, so a reproduction is judged on shape: ratios that
-// stay roughly flat across a sweep, and "who wins" agreeing with the paper.
+// Each experiment produces a structured *result.Result — named-column tables
+// with measured simulated time next to the paper's predicted bound and their
+// ratio, plus optional verdicts — and the ASCII-table / CSV output is a view
+// rendered from that structure. The bounds are asymptotic, so a reproduction
+// is judged on shape: ratios that stay roughly flat across a sweep, and "who
+// wins" agreeing with the paper.
 package harness
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"time"
+
+	"parbw/internal/result"
+	"parbw/internal/tablefmt"
 )
+
+// CodeVersion names the current revision of the experiment semantics. It is
+// folded into the run-store cache key alongside (experiment id, params,
+// seed), so bumping it invalidates every previously stored run. Bump it
+// whenever any experiment's structured output changes.
+const CodeVersion = "1"
 
 // Config controls an experiment run.
 type Config struct {
@@ -23,12 +36,32 @@ type Config struct {
 	CSV   bool // emit CSV instead of aligned tables
 }
 
+// Recorder collects the structured output of one experiment run. Experiment
+// bodies emit tables, notes, and verdicts through it; they never write to an
+// io.Writer directly.
+type Recorder struct {
+	Cfg Config
+	res *result.Result
+}
+
+// Emit records a finished table into the run's structured result.
+func (r *Recorder) Emit(t *tablefmt.Table) {
+	r.res.AddTable(result.Table{Title: t.Title(), Columns: t.Header(), Rows: t.Rows()})
+}
+
+// Notef records a free-form note line.
+func (r *Recorder) Notef(format string, args ...any) { r.res.Notef(format, args...) }
+
+// Verdict records a pass/fail judgment the experiment makes about its own
+// measurements (rendered as a [PASS]/[FAIL] line under the tables).
+func (r *Recorder) Verdict(id string, ok bool, detail string) { r.res.AddVerdict(id, ok, detail) }
+
 // Experiment is one reproducible experiment.
 type Experiment struct {
 	ID     string // harness id, e.g. "table1/broadcast"
 	Title  string
 	Source string // where in the paper it comes from
-	Run    func(w io.Writer, cfg Config)
+	run    func(rec *Recorder)
 }
 
 var registry []Experiment
@@ -52,12 +85,92 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment in ID order.
-func RunAll(w io.Writer, cfg Config) {
-	for _, e := range All() {
-		fmt.Fprintf(w, "\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
-		e.Run(w, cfg)
+// Suggest returns up to five registered experiment ids that most resemble
+// the (typically mistyped or partial) id: substring matches, per-segment
+// matches ("broadcast" → "table1/broadcast", "lb/broadcast"), and shared
+// prefixes, best first.
+func Suggest(id string) []string {
+	q := strings.ToLower(strings.TrimSpace(id))
+	if q == "" {
+		return nil
 	}
+	type scored struct {
+		id    string
+		score int
+	}
+	var matches []scored
+	for _, e := range All() {
+		cand := strings.ToLower(e.ID)
+		score := 0
+		switch {
+		case strings.HasPrefix(cand, q):
+			score = 100
+		case strings.Contains(cand, q):
+			score = 80
+		}
+		for _, seg := range strings.Split(cand, "/") {
+			if seg == q {
+				score = max(score, 90)
+			} else if strings.HasPrefix(seg, q) {
+				score = max(score, 70)
+			}
+		}
+		if score == 0 {
+			n := 0
+			for n < len(cand) && n < len(q) && cand[n] == q[n] {
+				n++
+			}
+			if n >= 3 {
+				score = n
+			}
+		}
+		if score > 0 {
+			matches = append(matches, scored{e.ID, score})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].score != matches[j].score {
+			return matches[i].score > matches[j].score
+		}
+		return matches[i].id < matches[j].id
+	})
+	if len(matches) > 5 {
+		matches = matches[:5]
+	}
+	out := make([]string, len(matches))
+	for i, m := range matches {
+		out[i] = m.id
+	}
+	return out
+}
+
+// Run executes the experiment and returns its structured result. The
+// rendered view (aligned tables, or CSV when cfg.CSV) is written to w; pass
+// nil or io.Discard to run silently.
+func (e Experiment) Run(w io.Writer, cfg Config) *result.Result {
+	res := result.New(e.ID, e.Title, e.Source, result.Params{Seed: cfg.Seed, Quick: cfg.Quick})
+	rec := &Recorder{Cfg: cfg, res: res}
+	start := time.Now()
+	e.run(rec)
+	res.WallNS = time.Since(start).Nanoseconds()
+	res.Finalize()
+	if w != nil {
+		res.Render(w, cfg.CSV)
+	}
+	return res
+}
+
+// RunAll executes every experiment in ID order and returns their structured
+// results.
+func RunAll(w io.Writer, cfg Config) []*result.Result {
+	out := make([]*result.Result, 0, len(registry))
+	for _, e := range All() {
+		if w != nil {
+			fmt.Fprintf(w, "\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
+		}
+		out = append(out, e.Run(w, cfg))
+	}
+	return out
 }
 
 // pick returns full unless cfg.Quick, then quick.
@@ -66,18 +179,4 @@ func pick[T any](cfg Config, full, quick T) T {
 		return quick
 	}
 	return full
-}
-
-// emit renders a table per cfg.
-type stringerTable interface {
-	String() string
-	CSV() string
-}
-
-func emit(w io.Writer, cfg Config, t stringerTable) {
-	if cfg.CSV {
-		fmt.Fprint(w, t.CSV())
-	} else {
-		fmt.Fprintln(w, t.String())
-	}
 }

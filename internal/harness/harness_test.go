@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -71,6 +72,92 @@ func TestCSVMode(t *testing.T) {
 	e.Run(&buf, Config{Seed: 1, Quick: true, CSV: true})
 	if !strings.Contains(buf.String(), ",") {
 		t.Fatal("CSV mode produced no commas")
+	}
+}
+
+// Golden determinism guard: every registered experiment, run twice with
+// Quick+Seed 1, must produce identical structured results — same canonical
+// JSON bytes. This is the property the content-addressed run store
+// (internal/runstore) and the serve cache depend on.
+func TestGoldenStructuredDeterminism(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(strings.ReplaceAll(e.ID, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			a := e.Run(io.Discard, cfg)
+			b := e.Run(io.Discard, cfg)
+			aj, err := a.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := b.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("structured result not deterministic:\n%s\n---\n%s", aj, bj)
+			}
+			if len(a.Tables) == 0 {
+				t.Fatal("experiment produced no structured tables")
+			}
+			for _, tb := range a.Tables {
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %q: row has %d cells for %d columns", tb.Title, len(row), len(tb.Columns))
+					}
+				}
+			}
+		})
+	}
+}
+
+// Structured results and the rendered view must agree: rendering the Result
+// to a buffer reproduces exactly what Run streams to its writer.
+func TestRenderIsViewOverResult(t *testing.T) {
+	for _, id := range []string{"table1/broadcast", "sched/static", "table1/summary"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var live bytes.Buffer
+		res := e.Run(&live, Config{Seed: 3, Quick: true})
+		var view bytes.Buffer
+		res.Render(&view, false)
+		if live.String() != view.String() {
+			t.Fatalf("%s: rendered view diverges from live output", id)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // must appear in suggestions
+	}{
+		{"table1/brodcast", "table1/broadcast"},
+		{"broadcast", "table1/broadcast"},
+		{"static", "sched/static"},
+		{"sched", "sched/flits"},
+		{"table1", "table1/broadcast"},
+	}
+	for _, c := range cases {
+		got := Suggest(c.in)
+		found := false
+		for _, id := range got {
+			if id == c.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Suggest(%q) = %v, want it to include %q", c.in, got, c.want)
+		}
+	}
+	if got := Suggest("zzzzqqq"); len(got) != 0 {
+		t.Errorf("Suggest(nonsense) = %v, want none", got)
+	}
+	if got := Suggest("a"); len(got) > 5 {
+		t.Errorf("Suggest returned %d ids, cap is 5", len(got))
 	}
 }
 

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"io"
 
 	"parbw/internal/bsp"
 	"parbw/internal/lower"
@@ -16,43 +15,43 @@ func init() {
 		ID:     "sched/static",
 		Title:  "Unbalanced-Send on skewed h-relations",
 		Source: "Theorem 6.2 and Proposition 6.1",
-		Run:    runSchedStatic,
+		run:    runSchedStatic,
 	})
 	register(Experiment{
 		ID:     "sched/consecutive",
 		Title:  "Unbalanced-Consecutive-Send",
 		Source: "Theorem 6.3",
-		Run:    runSchedConsecutive,
+		run:    runSchedConsecutive,
 	})
 	register(Experiment{
 		ID:     "sched/granular",
 		Title:  "Unbalanced-Granular-Send",
 		Source: "Theorem 6.4",
-		Run:    runSchedGranular,
+		run:    runSchedGranular,
 	})
 	register(Experiment{
 		ID:     "sched/flits",
 		Title:  "Long messages (consecutive flits) and per-message overhead o",
 		Source: "Section 6.1 (final remarks)",
-		Run:    runSchedFlits,
+		run:    runSchedFlits,
 	})
 	register(Experiment{
 		ID:     "sched/selfsched",
 		Title:  "Self-scheduling BSP(m) realized on the BSP(m)",
 		Source: "Section 2 (simplified cost metric) + Theorem 6.2",
-		Run:    runSelfSched,
+		run:    runSelfSched,
 	})
 	register(Experiment{
 		ID:     "ablation/penalty",
 		Title:  "Value of scheduling under linear vs exponential penalty",
 		Source: "DESIGN.md ablation; Section 2 penalty discussion",
-		Run:    runPenaltyAblation,
+		run:    runPenaltyAblation,
 	})
 	register(Experiment{
 		ID:     "ablation/eps",
 		Title:  "ε sweep: overload probability vs schedule slack",
 		Source: "Theorem 6.2's Chernoff analysis",
-		Run:    runEpsAblation,
+		run:    runEpsAblation,
 	})
 }
 
@@ -68,7 +67,8 @@ func workloads(rng *xrand.Source, p, scale int) map[string]sched.Plan {
 
 var workloadOrder = []string{"uniform", "zipf", "halfhalf", "point"}
 
-func runSchedStatic(w io.Writer, cfg Config) {
+func runSchedStatic(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 256, 64), pick(cfg, 64, 16), 8
 	g := p / mm
 	eps := 0.25
@@ -84,10 +84,11 @@ func runSchedStatic(w io.Writer, cfg Config) {
 		bspg := lower.RoutingBSPg(r.XBar, r.YBar, g, l)
 		t.Row(name, r.N, r.XBar, r.YBar, r.Time, opt, bound, bspg, r.Send.MaxSlot, r.Send.Overload)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runSchedConsecutive(w io.Writer, cfg Config) {
+func runSchedConsecutive(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 256, 64), pick(cfg, 32, 8), 4
 	eps := 0.25
 	rng := xrand.New(cfg.Seed)
@@ -101,10 +102,11 @@ func runSchedConsecutive(w io.Writer, cfg Config) {
 		bound := lower.ConsecutiveSendBound(r.N, r.XBar, minInt(r.XBar, r.Period), r.YBar, p, mm, l, eps)
 		t.Row(name, r.N, r.XBar, r.Time, bound, r.Send.MaxSlot, r.Send.Overload)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runSchedGranular(w io.Writer, cfg Config) {
+func runSchedGranular(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 512, 128), pick(cfg, 16, 8), 4
 	rng := xrand.New(cfg.Seed)
 	t := tablefmt.New("Unbalanced-Granular-Send (granularity t' = n/p, period c·n/m, c=4)",
@@ -120,10 +122,11 @@ func runSchedGranular(w io.Writer, cfg Config) {
 		bound := 4*float64(r.N)/float64(mm) + float64(r.XBar) + r.Tau
 		t.Row(name, r.N, tg, r.Time, bound, r.Send.MaxSlot, r.Send.Overload)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runSchedFlits(w io.Writer, cfg Config) {
+func runSchedFlits(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 128, 32), pick(cfg, 32, 8), 4
 	eps := 0.25
 	rng := xrand.New(cfg.Seed)
@@ -145,10 +148,11 @@ func runSchedFlits(w io.Writer, cfg Config) {
 			float64(lhat) + float64(o) + r.Tau
 		t.Row(o, r.N, lhat, r.Time, bound)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runSelfSched(w io.Writer, cfg Config) {
+func runSelfSched(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 256, 64), pick(cfg, 64, 16), 4
 	eps := 0.25
 	rng := xrand.New(cfg.Seed)
@@ -162,10 +166,11 @@ func runSelfSched(w io.Writer, cfg Config) {
 		rr := sched.UnbalancedSend(real, plan, sched.Options{Eps: eps, KnownN: ssr.N})
 		t.Row(name, ssr.Time, rr.Time, rr.Time/ssr.Time, 1+eps)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runPenaltyAblation(w io.Writer, cfg Config) {
+func runPenaltyAblation(rec *Recorder) {
+	cfg := rec.Cfg
 	p, mm, l := pick(cfg, 256, 64), pick(cfg, 16, 8), 4
 	rng := xrand.New(cfg.Seed)
 	plan := sched.UniformPlan(rng, p, 32)
@@ -183,10 +188,11 @@ func runPenaltyAblation(w io.Writer, cfg Config) {
 		schd := sched.UnbalancedSend(pc.mk(), plan, sched.Options{Eps: 0.25})
 		t.Row(pc.name, naive.Time, schd.Time, naive.Time/schd.Time)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runEpsAblation(w io.Writer, cfg Config) {
+func runEpsAblation(rec *Recorder) {
+	cfg := rec.Cfg
 	p, l := pick(cfg, 256, 64), 4
 	rng := xrand.New(cfg.Seed)
 	t := tablefmt.New("ε sweep: slack vs overload (zipf workload, exp penalty)",
@@ -199,7 +205,7 @@ func runEpsAblation(w io.Writer, cfg Config) {
 			t.Row(mm, eps, r.Period, r.Time, r.OptimalOffline(mm, l), r.Send.MaxSlot, r.Send.Overload)
 		}
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 func minInt(a, b int) int {

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"io"
 
 	"parbw/internal/bsp"
 	"parbw/internal/collective"
@@ -20,31 +19,31 @@ func init() {
 		ID:     "lb/broadcast",
 		Title:  "Broadcast lower bound vs the ternary non-receipt algorithm",
 		Source: "Theorem 4.1 and the Section 4.2 algorithm",
-		Run:    runBroadcastLB,
+		run:    runBroadcastLB,
 	})
 	register(Experiment{
 		ID:     "lb/hrelation-crcw",
 		Title:  "Realizing h-relations on the CRCW PRAM in O(h)",
 		Source: "Section 4.1 (lower-bound conversion machinery)",
-		Run:    runHRelationCRCW,
+		run:    runHRelationCRCW,
 	})
 	register(Experiment{
 		ID:     "sim/crcw-pramm",
 		Title:  "Simulating a CRCW PRAM(m) read step on the QSM(m)",
 		Source: "Theorem 5.1",
-		Run:    runCRCWSim,
+		run:    runCRCWSim,
 	})
 	register(Experiment{
 		ID:     "sep/leader",
 		Title:  "Leader recognition: concurrent vs exclusive read",
 		Source: "Theorem 5.2 / Lemma 5.3",
-		Run:    runLeader,
+		run:    runLeader,
 	})
 	register(Experiment{
 		ID:     "emul/group",
 		Title:  "Group emulation of BSP(g) supersteps on the BSP(m)",
 		Source: "Section 4 (grouping observation)",
-		Run:    runGroupEmul,
+		run:    runGroupEmul,
 	})
 }
 
@@ -52,7 +51,8 @@ func newQSMmMem(p, mem int, c model.Cost, seed uint64) *qsm.Machine {
 	return qsm.New(qsm.Config{P: p, Mem: mem, Cost: c, Seed: seed})
 }
 
-func runBroadcastLB(w io.Writer, cfg Config) {
+func runBroadcastLB(rec *Recorder) {
+	cfg := rec.Cfg
 	t := tablefmt.New("single-bit broadcast on BSP(g): ternary algorithm vs Theorem 4.1 lower bound",
 		"p", "g", "L", "ternary measured", "alg predicted g·⌈log3 p⌉", "Thm4.1 LB", "measured/LB")
 	ps := pick(cfg, []int{81, 729, 6561}, []int{27, 243})
@@ -66,7 +66,7 @@ func runBroadcastLB(w io.Writer, cfg Config) {
 			t.Row(p, g, l, m.Time(), pred, lb, m.Time()/lb)
 		}
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	t2 := tablefmt.New("tree broadcast vs Theorem 4.1 lower bound across L/g",
 		"p", "g", "L", "tree measured", "Thm4.1 LB", "measured/LB")
@@ -78,10 +78,11 @@ func runBroadcastLB(w io.Writer, cfg Config) {
 		lb := lower.BroadcastLBBSPg(p, g, l)
 		t2.Row(p, g, l, m.Time(), lb, m.Time()/lb)
 	}
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 }
 
-func runHRelationCRCW(w io.Writer, cfg Config) {
+func runHRelationCRCW(rec *Recorder) {
+	cfg := rec.Cfg
 	p := pick(cfg, 64, 16)
 	t := tablefmt.New("h-relation realization on Arbitrary-CRCW PRAM (p=64)",
 		"h (degree)", "rounds", "PRAM steps", "steps/h")
@@ -99,7 +100,7 @@ func runHRelationCRCW(w io.Writer, cfg Config) {
 		_, rounds := problems.HRelationCRCW(m, plan)
 		t.Row(deg, rounds, m.Time(), m.Time()/float64(deg))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 
 	// The two §4.1 routes: contention resolution O(h) vs sort-based
 	// O(lg p · lg(x̄p)). The crossover is the reason the paper gives both.
@@ -122,10 +123,11 @@ func runHRelationCRCW(w io.Writer, cfg Config) {
 		}
 		t2.Row(h, mc.Time(), ms.Time(), winner)
 	}
-	emit(w, cfg, t2)
+	rec.Emit(t2)
 }
 
-func runCRCWSim(w io.Writer, cfg Config) {
+func runCRCWSim(rec *Recorder) {
+	cfg := rec.Cfg
 	p := pick(cfg, 1024, 128)
 	cells := 64
 	t := tablefmt.New("one CRCW PRAM(m) read step on the QSM(m): measured vs Θ(p/m)",
@@ -157,10 +159,11 @@ func runCRCWSim(w io.Writer, cfg Config) {
 			t.Row(p, mm, pattern, m.Time(), pred, m.Time()/pred)
 		}
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runLeader(w io.Writer, cfg Config) {
+func runLeader(rec *Recorder) {
+	cfg := rec.Cfg
 	mm := 4
 	t := tablefmt.New("leader recognition, CR PRAM(m) vs ER PRAM(m) vs QSM(m) (m=4, w=64)",
 		"p", "CR steps", "ER steps", "QSM(m) time", "ER/CR", "paper separation Ω(p·lg m/(m·lg p))")
@@ -177,10 +180,11 @@ func runLeader(w io.Writer, cfg Config) {
 		sep := lower.SeparationERCR(p, mm)
 		t.Row(p, cr.Time(), er.Time(), qm.Time(), er.Time()/cr.Time(), sep)
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runGroupEmul(w io.Writer, cfg Config) {
+func runGroupEmul(rec *Recorder) {
+	cfg := rec.Cfg
 	p, l := pick(cfg, 256, 64), 8
 	t := tablefmt.New("h-relation superstep: BSP(g) vs group-emulated BSP(m), m=p/g",
 		"g", "h", "BSP(g) time", "BSP(m) emulated", "max slot load", "m")
@@ -202,5 +206,5 @@ func runGroupEmul(w io.Writer, cfg Config) {
 			t.Row(g, h, lg.Time(), gm.Time(), st.MaxSlot, mBW)
 		}
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"io"
 
 	"parbw/internal/bsp"
 	"parbw/internal/collective"
@@ -45,35 +44,36 @@ func init() {
 		ID:     "table1/onetoall",
 		Title:  "One-to-all personalized communication",
 		Source: "Table 1 row 1; Section 1 motivating example",
-		Run:    runOneToAll,
+		run:    runOneToAll,
 	})
 	register(Experiment{
 		ID:     "table1/broadcast",
 		Title:  "Broadcasting one value to p processors",
 		Source: "Table 1 row 2",
-		Run:    runBroadcastRow,
+		run:    runBroadcastRow,
 	})
 	register(Experiment{
 		ID:     "table1/parity",
 		Title:  "Parity and summation of n = p values",
 		Source: "Table 1 row 3",
-		Run:    runParityRow,
+		run:    runParityRow,
 	})
 	register(Experiment{
 		ID:     "table1/listrank",
 		Title:  "List ranking an n = p node list",
 		Source: "Table 1 row 4",
-		Run:    runListRankRow,
+		run:    runListRankRow,
 	})
 	register(Experiment{
 		ID:     "table1/sort",
 		Title:  "Sorting n = p keys",
 		Source: "Table 1 row 5",
-		Run:    runSortRow,
+		run:    runSortRow,
 	})
 }
 
-func runOneToAll(w io.Writer, cfg Config) {
+func runOneToAll(rec *Recorder) {
+	cfg := rec.Cfg
 	g, l := 16, 8
 	ps := pick(cfg, []int{256, 1024, 4096}, []int{64, 256})
 	t := tablefmt.New("one-to-all: measured vs predicted (g=16, m=p/g, L=8)",
@@ -104,10 +104,11 @@ func runOneToAll(w io.Writer, cfg Config) {
 		t.Row(p, "QSM(m)", gq.Time(), lower.OneToAllQSMm(p),
 			gq.Time()/lower.OneToAllQSMm(p), ratioStr(lq.Time(), gq.Time()))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runBroadcastRow(w io.Writer, cfg Config) {
+func runBroadcastRow(rec *Recorder) {
+	cfg := rec.Cfg
 	g, l := 8, 32
 	ps := pick(cfg, []int{256, 1024, 4096, 16384}, []int{64, 256})
 	t := tablefmt.New("broadcast: measured vs predicted (g=8, m=p/g, L=32)",
@@ -134,10 +135,11 @@ func runBroadcastRow(w io.Writer, cfg Config) {
 		t.Row(p, "QSM(m)", gq.Time(), lower.BroadcastQSMm(p, m),
 			gq.Time()/lower.BroadcastQSMm(p, m), ratioStr(lq.Time(), gq.Time()))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runParityRow(w io.Writer, cfg Config) {
+func runParityRow(rec *Recorder) {
+	cfg := rec.Cfg
 	g, l := 16, 16
 	ps := pick(cfg, []int{256, 1024, 4096}, []int{64, 256})
 	t := tablefmt.New("parity of n=p bits: measured vs predicted (g=16, m=p/g, L=16)",
@@ -170,10 +172,11 @@ func runParityRow(w io.Writer, cfg Config) {
 		t.Row(p, "QSM(m)", gq.Time(), predQG, gq.Time()/predQG,
 			ratioStr(lq.Time(), gq.Time()))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runListRankRow(w io.Writer, cfg Config) {
+func runListRankRow(rec *Recorder) {
+	cfg := rec.Cfg
 	// g ≫ L: the row-4 separation vanishes when the latency floor L
 	// dominates the per-round cost of both models.
 	g, l := 32, 2
@@ -204,10 +207,11 @@ func runListRankRow(w io.Writer, cfg Config) {
 		t.Row(p, "QSM(m)", gq.Time(), predQG, gq.Time()/predQG,
 			ratioStr(lq.Time(), gq.Time()))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
-func runSortRow(w io.Writer, cfg Config) {
+func runSortRow(rec *Recorder) {
+	cfg := rec.Cfg
 	g, l := 16, 8
 	ps := pick(cfg, []int{512, 1024, 4096}, []int{128, 512})
 	t := tablefmt.New("sorting n=p keys (columnsort): measured vs predicted (g=16, m=p/g, L=8)",
@@ -245,7 +249,7 @@ func runSortRow(w io.Writer, cfg Config) {
 		t.Row(p, "QSM(m)", q, gq.Time(), predQG, gq.Time()/predQG,
 			ratioStr(lq.Time(), gq.Time()))
 	}
-	emit(w, cfg, t)
+	rec.Emit(t)
 }
 
 // ratioStr formats the local/global separation factor.

@@ -1,0 +1,266 @@
+// Package runstore is a content-addressed store for experiment results.
+//
+// The key of a run is the SHA-256 of the canonical JSON of its identity —
+// experiment id, parameters (seed, quick), and harness code version — so
+// identical invocations of a deterministic experiment always map to the same
+// key, and any change to parameters or experiment semantics maps to a fresh
+// one. Values are the canonical JSON bytes of the structured result
+// (internal/result), which the harness guarantees are byte-identical across
+// repeated runs.
+//
+// Layout: one file per run, <dir>/<first two key hex chars>/<key>.json,
+// written atomically (temp file + rename). A bounded in-memory LRU layer
+// fronts the disk so hot keys — the "serve the same sweep again" case — are
+// returned without touching the filesystem. Hit/miss counters are exported
+// for the service's /statsz endpoint.
+package runstore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"parbw/internal/result"
+)
+
+// KeySpec is the identity of a run. Field order is part of the key format:
+// reordering fields changes every key (encoding/json emits declaration
+// order), which is equivalent to a code-version bump.
+type KeySpec struct {
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	Version    string `json:"version"` // harness.CodeVersion
+}
+
+// Key returns the content address of spec: hex SHA-256 of its canonical
+// JSON.
+func Key(spec KeySpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// KeySpec contains only scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("runstore: marshal keyspec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidKey reports whether s looks like a store key (64 hex chars).
+func ValidKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats are the store's counters since Open. Hits = MemHits + DiskHits.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	MemHits   uint64 `json:"mem_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	MemKeys   int    `json:"mem_keys"`
+}
+
+type memEntry struct {
+	key  string
+	data []byte
+}
+
+// Store is a content-addressed run store: disk as the source of truth, an
+// LRU-bounded in-memory layer in front. Safe for concurrent use.
+type Store struct {
+	dir    string
+	maxMem int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	mem   map[string]*list.Element
+	stats Stats
+}
+
+// DefaultMaxMem is the in-memory entry bound used when Open is given
+// maxMem <= 0.
+const DefaultMaxMem = 256
+
+// Open creates (if needed) and opens a store rooted at dir. maxMem bounds
+// the number of results kept in memory; <= 0 selects DefaultMaxMem.
+func Open(dir string, maxMem int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("runstore: empty dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	if maxMem <= 0 {
+		maxMem = DefaultMaxMem
+	}
+	return &Store{
+		dir:    dir,
+		maxMem: maxMem,
+		ll:     list.New(),
+		mem:    map[string]*list.Element{},
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// GetBytes returns the stored canonical JSON for key, reporting whether it
+// was found. The memory layer is consulted first, then disk (promoting the
+// value into memory on a disk hit).
+func (s *Store) GetBytes(key string) ([]byte, bool, error) {
+	if !ValidKey(key) {
+		return nil, false, fmt.Errorf("runstore: invalid key %q", key)
+	}
+	s.mu.Lock()
+	if el, ok := s.mem[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		s.stats.MemHits++
+		data := el.Value.(*memEntry).data
+		s.mu.Unlock()
+		return data, true, nil
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("runstore: read %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.stats.DiskHits++
+	s.admit(key, data)
+	s.mu.Unlock()
+	return data, true, nil
+}
+
+// Get is GetBytes followed by a decode into a structured result.
+func (s *Store) Get(key string) (*result.Result, bool, error) {
+	data, ok, err := s.GetBytes(key)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	r, err := result.Decode(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("runstore: corrupt entry %s: %w", key, err)
+	}
+	return r, true, nil
+}
+
+// Put stores r under key and returns the canonical bytes written. Writes are
+// atomic (temp file + rename), so readers never observe partial JSON.
+func (s *Store) Put(key string, r *result.Result) ([]byte, error) {
+	data, err := r.CanonicalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("runstore: encode: %w", err)
+	}
+	if err := s.PutBytes(key, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// PutBytes stores pre-encoded canonical JSON under key.
+func (s *Store) PutBytes(key string, data []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("runstore: invalid key %q", key)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: rename %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.admit(key, data)
+	s.mu.Unlock()
+	return nil
+}
+
+// admit inserts or refreshes key in the memory layer, evicting from the LRU
+// tail past maxMem. Caller holds s.mu.
+func (s *Store) admit(key string, data []byte) {
+	if el, ok := s.mem[key]; ok {
+		el.Value.(*memEntry).data = data
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.mem[key] = s.ll.PushFront(&memEntry{key: key, data: data})
+	for s.ll.Len() > s.maxMem {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.mem, tail.Value.(*memEntry).key)
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemKeys = s.ll.Len()
+	return st
+}
+
+// DiskKeys returns every key currently stored on disk (unsorted).
+func (s *Store) DiskKeys() ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if key, found := strings.CutSuffix(name, ".json"); found && ValidKey(key) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runstore: walk: %w", err)
+	}
+	return keys, nil
+}

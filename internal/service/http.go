@@ -1,0 +1,160 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parbw/internal/harness"
+	"parbw/internal/runstore"
+)
+
+// API is the HTTP surface of the run service, served by `bandsim serve`:
+//
+//	GET  /experiments   registry listing (id, title, source)
+//	POST /runs          submit a sweep; waits for completion unless "wait": false
+//	GET  /runs          snapshots of every retained job
+//	GET  /runs/{id}     a job by id ("job-000001"), or — when {id} is a
+//	                    64-hex run-store key — the stored canonical result JSON
+//	DELETE /runs/{id}   cancel a job
+//	GET  /healthz       liveness
+//	GET  /statsz        run-store hit/miss counters + executor counters
+//
+// All responses are JSON. A stored result served by key is returned byte-
+// for-byte as stored, so repeated fetches are binary-identical.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("POST /runs", s.handleCreateRun)
+	mux.HandleFunc("GET /runs", s.handleListRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error       string   `json:"error"`
+	Suggestions []string `json:"suggestions,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+type experimentInfo struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Source string `json:"source"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	all := harness.All()
+	out := make([]experimentInfo, len(all))
+	for i, e := range all {
+		out[i] = experimentInfo{ID: e.ID, Title: e.Title, Source: e.Source}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		var unknown *UnknownExperimentError
+		switch {
+		case errors.As(err, &unknown):
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error:       fmt.Sprintf("unknown experiment %q", unknown.ID),
+				Suggestions: unknown.Suggestions,
+			})
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, job.View())
+		return
+	}
+	if state := job.Wait(r.Context()); state == "" {
+		// Client went away; the job keeps running and stays fetchable.
+		writeJSON(w, http.StatusAccepted, job.View())
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if runstore.ValidKey(id) {
+		data, ok, err := s.opts.Store.GetBytes(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, "no stored run with key %s", id)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsView struct {
+	Store    runstore.Stats `json:"store"`
+	Executor Stats          `json:"executor"`
+	Time     time.Time      `json:"time"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsView{
+		Store:    s.opts.Store.Stats(),
+		Executor: s.Stats(),
+		Time:     time.Now().UTC(),
+	})
+}

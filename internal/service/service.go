@@ -1,0 +1,634 @@
+// Package service turns the experiment registry into a run service: a job
+// queue plus a sweep executor on top of the content-addressed run store.
+//
+// A job is one request — a set of experiment ids × seeds. The executor fans
+// the tasks of a job out over an internal/workpool pool with a per-job
+// context timeout, prompt cancellation, panic recovery around experiment
+// code, and bounded retries. Every completed task is stored in
+// internal/runstore keyed by (experiment, params, seed, code version), so a
+// repeated request is served from cache without re-simulating — the
+// simulations are deterministic, which makes them the ideal cacheable
+// workload. The HTTP API in http.go exposes the whole thing as
+// `bandsim serve`.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"parbw/internal/harness"
+	"parbw/internal/result"
+	"parbw/internal/runstore"
+	"parbw/internal/workpool"
+)
+
+// Runner executes one experiment run. The default runner dispatches into the
+// harness registry; tests substitute flaky runners to exercise retry and
+// panic-recovery paths.
+type Runner func(id string, cfg harness.Config) (*result.Result, error)
+
+// DefaultRunner runs a registered experiment silently and returns its
+// structured result.
+func DefaultRunner(id string, cfg harness.Config) (*result.Result, error) {
+	e, ok := harness.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+	return e.Run(io.Discard, cfg), nil
+}
+
+// Options configures a Server. Zero values select the documented defaults.
+type Options struct {
+	Store      *runstore.Store // required
+	Workers    int             // sweep fan-out width; <=0 → GOMAXPROCS
+	JobTimeout time.Duration   // default per-job timeout; <=0 → 5m
+	Retries    int             // extra attempts per failed task; <0 → 0 (default 2)
+	QueueDepth int             // pending-job bound; <=0 → 64
+	MaxTasks   int             // per-job task bound; <=0 → 4096
+	Runner     Runner          // nil → DefaultRunner
+}
+
+// Task and job states.
+const (
+	StatusQueued    = "queued" // jobs only
+	StatusPending   = "pending"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// Task is one (experiment, seed) cell of a job's sweep.
+type Task struct {
+	Experiment string  `json:"experiment"`
+	Seed       uint64  `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Key        string  `json:"key"`
+	Status     string  `json:"status"`
+	Cached     bool    `json:"cached"`
+	Attempts   int     `json:"attempts"`
+	WallMS     float64 `json:"wall_ms"`
+	Error      string  `json:"error,omitempty"`
+
+	// Result is the canonical JSON of the structured result, exactly the
+	// bytes held by the run store — byte-identical across repeated requests.
+	Result []byte `json:"-"`
+}
+
+// Job is one submitted request moving through the queue. job.mu guards
+// state, the timestamps, and every field of its tasks; the executor and the
+// HTTP snapshotting both take it.
+type Job struct {
+	id      string
+	timeout time.Duration
+	runCtx  context.Context
+
+	mu       sync.Mutex
+	state    string
+	tasks    []*Task
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// TaskView is the JSON shape of a task, including the cached result bytes.
+type TaskView struct {
+	Experiment string          `json:"experiment"`
+	Seed       uint64          `json:"seed"`
+	Quick      bool            `json:"quick"`
+	Key        string          `json:"key"`
+	Status     string          `json:"status"`
+	Cached     bool            `json:"cached"`
+	Attempts   int             `json:"attempts"`
+	WallMS     float64         `json:"wall_ms"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// JobView is the JSON shape of a job.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	TimeoutMS int64      `json:"timeout_ms"`
+	Tasks     []TaskView `json:"tasks"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		State:     j.state,
+		Created:   j.created,
+		TimeoutMS: j.timeout.Milliseconds(),
+		Tasks:     make([]TaskView, len(j.tasks)),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	for i, t := range j.tasks {
+		v.Tasks[i] = TaskView{
+			Experiment: t.Experiment,
+			Seed:       t.Seed,
+			Quick:      t.Quick,
+			Key:        t.Key,
+			Status:     t.Status,
+			Cached:     t.Cached,
+			Attempts:   t.Attempts,
+			WallMS:     t.WallMS,
+			Error:      t.Error,
+			Result:     json.RawMessage(t.Result),
+		}
+	}
+	return v
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job finishes (any terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation; queued tasks stop dispatching promptly.
+func (j *Job) Cancel() { j.cancel() }
+
+// Wait blocks until the job finishes or ctx is done; it returns the job's
+// terminal state, or "" if ctx won the race.
+func (j *Job) Wait(ctx context.Context) string {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.state
+	case <-ctx.Done():
+		return ""
+	}
+}
+
+// Stats are the server's lifetime counters, served by /statsz.
+type Stats struct {
+	JobsAccepted  uint64 `json:"jobs_accepted"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	TasksRun      uint64 `json:"tasks_run"`
+	TasksCached   uint64 `json:"tasks_cached"`
+	TaskRetries   uint64 `json:"task_retries"`
+	TaskPanics    uint64 `json:"task_panics"`
+	QueueLen      int    `json:"queue_len"`
+	Workers       int    `json:"workers"`
+}
+
+// Server owns the job queue, the executor, and the run store.
+type Server struct {
+	opts   Options
+	pool   *workpool.Pool
+	runner Runner
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	jobs   map[string]*Job
+	order  []string // job ids, oldest first, for pruning
+	stats  Stats
+}
+
+// maxRetainedJobs bounds the in-memory job index; the oldest finished jobs
+// are pruned past it (their results stay in the run store).
+const maxRetainedJobs = 512
+
+// New starts a server: the dispatcher goroutine runs until Close.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil {
+		return nil, errors.New("service: Options.Store is required")
+	}
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = 5 * time.Minute
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxTasks <= 0 {
+		opts.MaxTasks = 4096
+	}
+	if opts.Runner == nil {
+		opts.Runner = DefaultRunner
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		pool:    workpool.New(opts.Workers),
+		runner:  opts.Runner,
+		baseCtx: ctx,
+		cancel:  cancel,
+		queue:   make(chan *Job, opts.QueueDepth),
+		jobs:    map[string]*Job{},
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Close cancels every running job, stops the dispatcher, and waits for it to
+// drain. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Store exposes the underlying run store (for stats and direct key reads).
+func (s *Server) Store() *runstore.Store { return s.opts.Store }
+
+// RunRequest is a submitted sweep: the cross product of Experiments × Seeds.
+type RunRequest struct {
+	// Experiments lists harness ids; the single entry "all" expands to every
+	// registered experiment.
+	Experiments []string `json:"experiments"`
+	// Seeds defaults to [1].
+	Seeds []uint64 `json:"seeds"`
+	Quick bool     `json:"quick"`
+	// TimeoutMS overrides the server's default per-job timeout.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Wait, when true (the HTTP default), makes POST /runs block until the
+	// job reaches a terminal state.
+	Wait *bool `json:"wait"`
+}
+
+// UnknownExperimentError reports an id that is not in the registry, with
+// closest-match suggestions.
+type UnknownExperimentError struct {
+	ID          string
+	Suggestions []string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	if len(e.Suggestions) == 0 {
+		return fmt.Sprintf("unknown experiment %q", e.ID)
+	}
+	return fmt.Sprintf("unknown experiment %q (closest: %v)", e.ID, e.Suggestions)
+}
+
+// Submit validates req, builds the job, and enqueues it. It returns
+// immediately; use Job.Wait or Job.Done for completion.
+func (s *Server) Submit(req RunRequest) (*Job, error) {
+	ids, err := expandExperiments(req.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	if n := len(ids) * len(seeds); n > s.opts.MaxTasks {
+		return nil, fmt.Errorf("service: job would have %d tasks, cap is %d", n, s.opts.MaxTasks)
+	}
+	timeout := s.opts.JobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	tasks := make([]*Task, 0, len(ids)*len(seeds))
+	for _, id := range ids {
+		for _, seed := range seeds {
+			tasks = append(tasks, &Task{
+				Experiment: id,
+				Seed:       seed,
+				Quick:      req.Quick,
+				Key: runstore.Key(runstore.KeySpec{
+					Experiment: id,
+					Seed:       seed,
+					Quick:      req.Quick,
+					Version:    harness.CodeVersion,
+				}),
+				Status: StatusPending,
+			})
+		}
+	}
+
+	jobCtx, jobCancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		timeout: timeout,
+		runCtx:  jobCtx,
+		state:   StatusQueued,
+		tasks:   tasks,
+		created: time.Now(),
+		cancel:  jobCancel,
+		done:    make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jobCancel()
+		return nil, errors.New("service: server is shut down")
+	}
+	s.seq++
+	job.id = fmt.Sprintf("job-%06d", s.seq)
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.stats.JobsAccepted++
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.finishJob(job, StatusFailed)
+		return nil, fmt.Errorf("service: queue full (depth %d)", s.opts.QueueDepth)
+	}
+}
+
+func expandExperiments(ids []string) ([]string, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("service: no experiments requested")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		all := harness.All()
+		out := make([]string, len(all))
+		for i, e := range all {
+			out[i] = e.ID
+		}
+		return out, nil
+	}
+	seen := map[string]bool{}
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := harness.ByID(id); !ok {
+			return nil, &UnknownExperimentError{ID: id, Suggestions: harness.Suggest(id)}
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Job lookup by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of every retained job, oldest first.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.View()
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueLen = len(s.queue)
+	st.Workers = s.pool.Workers()
+	return st
+}
+
+// pruneLocked drops the oldest finished jobs past maxRetainedJobs.
+func (s *Server) pruneLocked() {
+	for len(s.order) > maxRetainedJobs {
+		dropped := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			if j == nil {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+				break
+			}
+			j.mu.Lock()
+			terminal := j.state == StatusDone || j.state == StatusFailed || j.state == StatusCancelled
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // everything retained is still live
+		}
+	}
+}
+
+// dispatch is the queue consumer: jobs execute one at a time in submission
+// order; each job's tasks fan out over the workpool.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			// Drain anything still queued as cancelled.
+			for {
+				select {
+				case job := <-s.queue:
+					s.finishJob(job, StatusCancelled)
+				default:
+					return
+				}
+			}
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	ctx, cancelTimeout := context.WithTimeout(job.runCtx, job.timeout)
+	defer cancelTimeout()
+
+	job.mu.Lock()
+	job.state = StatusRunning
+	job.started = time.Now()
+	tasks := job.tasks
+	job.mu.Unlock()
+
+	s.pool.ForCtx(ctx, len(tasks), func(i int) {
+		s.runTask(ctx, job, tasks[i])
+	})
+
+	state := StatusDone
+	job.mu.Lock()
+	for _, t := range tasks {
+		switch t.Status {
+		case StatusPending, StatusRunning:
+			t.Status = StatusCancelled
+			t.Error = contextReason(ctx)
+			state = StatusCancelled
+		case StatusCancelled:
+			state = StatusCancelled
+		case StatusFailed:
+			if state != StatusCancelled {
+				state = StatusFailed
+			}
+		}
+	}
+	job.mu.Unlock()
+	s.finishJob(job, state)
+}
+
+func contextReason(ctx context.Context) string {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return "job timeout"
+	case ctx.Err() != nil:
+		return "job cancelled"
+	default:
+		return ""
+	}
+}
+
+func (s *Server) finishJob(job *Job, state string) {
+	job.mu.Lock()
+	alreadyDone := job.state == StatusDone || job.state == StatusFailed || job.state == StatusCancelled
+	if !alreadyDone {
+		job.state = state
+		job.finished = time.Now()
+	}
+	job.mu.Unlock()
+	if alreadyDone {
+		return
+	}
+	job.cancel()
+	close(job.done)
+	s.mu.Lock()
+	switch state {
+	case StatusDone:
+		s.stats.JobsDone++
+	case StatusFailed:
+		s.stats.JobsFailed++
+	case StatusCancelled:
+		s.stats.JobsCancelled++
+	}
+	s.mu.Unlock()
+}
+
+// runTask executes one task: run-store lookup first, then the experiment
+// with panic recovery and bounded retries. Task fields are only touched
+// under job.mu so HTTP snapshots never race the executor.
+func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
+	setTask := func(fn func()) {
+		job.mu.Lock()
+		fn()
+		job.mu.Unlock()
+	}
+	setTask(func() { t.Status = StatusRunning })
+
+	if data, ok, err := s.opts.Store.GetBytes(t.Key); err == nil && ok {
+		setTask(func() {
+			t.Cached = true
+			t.Result = data
+			t.Status = StatusDone
+		})
+		s.mu.Lock()
+		s.stats.TasksCached++
+		s.mu.Unlock()
+		return
+	}
+
+	cfg := harness.Config{Seed: t.Seed, Quick: t.Quick}
+	var lastErr error
+	for attempt := 1; attempt <= 1+s.opts.Retries; attempt++ {
+		if ctx.Err() != nil {
+			setTask(func() {
+				t.Status = StatusCancelled
+				t.Error = contextReason(ctx)
+			})
+			return
+		}
+		setTask(func() { t.Attempts = attempt })
+		if attempt > 1 {
+			s.mu.Lock()
+			s.stats.TaskRetries++
+			s.mu.Unlock()
+		}
+		start := time.Now()
+		res, err := s.safeRun(t.Experiment, cfg)
+		wall := time.Since(start)
+		if err == nil {
+			data, perr := s.opts.Store.Put(t.Key, res)
+			if perr != nil {
+				lastErr = perr
+				continue
+			}
+			setTask(func() {
+				t.Result = data
+				t.WallMS = float64(wall.Microseconds()) / 1000
+				t.Status = StatusDone
+			})
+			s.mu.Lock()
+			s.stats.TasksRun++
+			s.mu.Unlock()
+			return
+		}
+		lastErr = err
+	}
+	setTask(func() {
+		t.Status = StatusFailed
+		if lastErr != nil {
+			t.Error = lastErr.Error()
+		}
+	})
+}
+
+// safeRun invokes the runner with panic recovery, converting a panicking
+// experiment into an error the retry loop can handle.
+func (s *Server) safeRun(id string, cfg harness.Config) (res *result.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			s.stats.TaskPanics++
+			s.mu.Unlock()
+			err = fmt.Errorf("experiment %s panicked: %v\n%s", id, p, debug.Stack())
+		}
+	}()
+	return s.runner(id, cfg)
+}

@@ -1,0 +1,467 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parbw/internal/harness"
+	"parbw/internal/result"
+	"parbw/internal/runstore"
+)
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Store == nil {
+		st, err := runstore.Open(t.TempDir(), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Store = st
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postRuns(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out struct {
+		Experiments []experimentInfo `json:"experiments"`
+	}
+	if code := getJSON(t, ts, "/experiments", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Experiments) != len(harness.All()) {
+		t.Fatalf("%d experiments listed, registry has %d", len(out.Experiments), len(harness.All()))
+	}
+	found := false
+	for _, e := range out.Experiments {
+		if e.ID == "table1/broadcast" && e.Title != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("table1/broadcast missing from listing")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var out map[string]string
+	if code := getJSON(t, ts, "/healthz", &out); code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz: code=%d body=%v", code, out)
+	}
+}
+
+// The acceptance path: POST /runs twice with identical id/params/seed. The
+// second request must be served from the run store (visible in /statsz) and
+// carry byte-identical result JSON.
+func TestRepeatedRunServedFromStore(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"experiments":["table1/broadcast","sched/static"],"seeds":[1],"quick":true}`
+
+	type jobResp struct {
+		State string     `json:"state"`
+		Tasks []TaskView `json:"tasks"`
+	}
+	code, first := postRuns(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("first POST: status %d: %s", code, first)
+	}
+	var j1 jobResp
+	if err := json.Unmarshal(first, &j1); err != nil {
+		t.Fatal(err)
+	}
+	if j1.State != StatusDone || len(j1.Tasks) != 2 {
+		t.Fatalf("first job: state=%s tasks=%d", j1.State, len(j1.Tasks))
+	}
+	for _, task := range j1.Tasks {
+		if task.Cached {
+			t.Fatalf("first run of %s reported cached", task.Experiment)
+		}
+		if len(task.Result) == 0 {
+			t.Fatalf("task %s has no result payload", task.Experiment)
+		}
+	}
+
+	var st1 statsView
+	getJSON(t, ts, "/statsz", &st1)
+
+	code, second := postRuns(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("second POST: status %d", code)
+	}
+	var j2 jobResp
+	if err := json.Unmarshal(second, &j2); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range j2.Tasks {
+		if !task.Cached {
+			t.Fatalf("second run of %s not served from store", task.Experiment)
+		}
+		if !bytes.Equal(task.Result, j1.Tasks[i].Result) {
+			t.Fatalf("%s: repeated run JSON not byte-identical", task.Experiment)
+		}
+	}
+
+	var st2 statsView
+	getJSON(t, ts, "/statsz", &st2)
+	if st2.Store.Hits < st1.Store.Hits+2 {
+		t.Fatalf("store hits went %d -> %d, want +2", st1.Store.Hits, st2.Store.Hits)
+	}
+	if st2.Executor.TasksCached < 2 {
+		t.Fatalf("executor cached-task counter = %d, want >= 2", st2.Executor.TasksCached)
+	}
+
+	// The stored result is also directly addressable by its key.
+	key := j1.Tasks[0].Key
+	resp, err := http.Get(ts.URL + "/runs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /runs/%s: status %d", key, resp.StatusCode)
+	}
+	if !bytes.Equal(raw, j1.Tasks[0].Result) {
+		t.Fatal("key fetch differs from task result bytes")
+	}
+	res, err := result.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != j1.Tasks[0].Experiment {
+		t.Fatalf("stored result names %q", res.Experiment)
+	}
+}
+
+func TestUnknownExperimentSuggestions(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postRuns(t, ts, `{"experiments":["table1/brodcast"]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	for _, sug := range e.Suggestions {
+		if sug == "table1/broadcast" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("suggestions %v missing table1/broadcast", e.Suggestions)
+	}
+}
+
+func TestGetRunNotFound(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts, "/runs/job-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("job fetch: status %d, want 404", code)
+	}
+	missingKey := strings.Repeat("ab", 32)
+	if code := getJSON(t, ts, "/runs/"+missingKey, nil); code != http.StatusNotFound {
+		t.Fatalf("key fetch: status %d, want 404", code)
+	}
+}
+
+// A runner that fails deterministically for the first attempts exercises the
+// bounded-retry path.
+func TestExecutorRetries(t *testing.T) {
+	var calls atomic.Int32
+	flaky := func(id string, cfg harness.Config) (*result.Result, error) {
+		if calls.Add(1) < 3 {
+			return nil, errors.New("transient failure")
+		}
+		return DefaultRunner(id, cfg)
+	}
+	s := newTestServer(t, Options{Runner: flaky, Retries: 2})
+	job, err := s.Submit(RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state := job.Wait(context.Background()); state != StatusDone {
+		t.Fatalf("job state %q, want done", state)
+	}
+	v := job.View()
+	if v.Tasks[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", v.Tasks[0].Attempts)
+	}
+	if s.Stats().TaskRetries != 2 {
+		t.Fatalf("retry counter = %d, want 2", s.Stats().TaskRetries)
+	}
+}
+
+func TestExecutorGivesUpAfterBoundedRetries(t *testing.T) {
+	always := func(id string, cfg harness.Config) (*result.Result, error) {
+		return nil, errors.New("permanent failure")
+	}
+	s := newTestServer(t, Options{Runner: always, Retries: 1})
+	job, _ := s.Submit(RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true})
+	if state := job.Wait(context.Background()); state != StatusFailed {
+		t.Fatalf("job state %q, want failed", state)
+	}
+	v := job.View()
+	if v.Tasks[0].Attempts != 2 || v.Tasks[0].Error == "" {
+		t.Fatalf("task = %+v, want 2 attempts and an error", v.Tasks[0])
+	}
+}
+
+func TestExecutorRecoversPanics(t *testing.T) {
+	boom := func(id string, cfg harness.Config) (*result.Result, error) {
+		panic("kaboom")
+	}
+	s := newTestServer(t, Options{Runner: boom, Retries: 1})
+	job, _ := s.Submit(RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true})
+	if state := job.Wait(context.Background()); state != StatusFailed {
+		t.Fatalf("job state %q, want failed", state)
+	}
+	if !strings.Contains(job.View().Tasks[0].Error, "kaboom") {
+		t.Fatalf("panic not surfaced: %+v", job.View().Tasks[0])
+	}
+	if s.Stats().TaskPanics != 2 {
+		t.Fatalf("panic counter = %d, want 2", s.Stats().TaskPanics)
+	}
+}
+
+func TestJobCancellation(t *testing.T) {
+	release := make(chan struct{})
+	var started atomic.Int32
+	slow := func(id string, cfg harness.Config) (*result.Result, error) {
+		started.Add(1)
+		<-release
+		return DefaultRunner(id, cfg)
+	}
+	s := newTestServer(t, Options{Runner: slow, Workers: 2})
+
+	job, err := s.Submit(RunRequest{Experiments: []string{"all"}, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	job.Cancel()
+	close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if state := job.Wait(ctx); state != StatusCancelled {
+		t.Fatalf("job state %q, want cancelled", state)
+	}
+	v := job.View()
+	cancelled := 0
+	for _, task := range v.Tasks {
+		if task.Status == StatusCancelled {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no task recorded as cancelled")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	slow := func(id string, cfg harness.Config) (*result.Result, error) {
+		time.Sleep(50 * time.Millisecond)
+		return DefaultRunner(id, cfg)
+	}
+	s := newTestServer(t, Options{Runner: slow, Workers: 1})
+	job, err := s.Submit(RunRequest{
+		Experiments: []string{"table1/broadcast", "table1/parity", "sched/static"},
+		Quick:       true,
+		TimeoutMS:   60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if state := job.Wait(ctx); state != StatusCancelled {
+		t.Fatalf("job state %q, want cancelled (timeout)", state)
+	}
+	sawTimeout := false
+	for _, task := range job.View().Tasks {
+		if task.Error == "job timeout" {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Fatalf("no task blamed the timeout: %+v", job.View().Tasks)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Options{MaxTasks: 4})
+	if _, err := s.Submit(RunRequest{}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if _, err := s.Submit(RunRequest{Experiments: []string{"nope"}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	_, err := s.Submit(RunRequest{
+		Experiments: []string{"table1/broadcast"},
+		Seeds:       []uint64{1, 2, 3, 4, 5},
+		Quick:       true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("task cap not enforced: %v", err)
+	}
+}
+
+func TestSweepFansOutAllExperiments(t *testing.T) {
+	s := newTestServer(t, Options{})
+	job, err := s.Submit(RunRequest{Experiments: []string{"all"}, Quick: true, Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if state := job.Wait(ctx); state != StatusDone {
+		t.Fatalf("sweep state %q, want done", state)
+	}
+	v := job.View()
+	if len(v.Tasks) != len(harness.All()) {
+		t.Fatalf("sweep ran %d tasks, registry has %d", len(v.Tasks), len(harness.All()))
+	}
+	for _, task := range v.Tasks {
+		if task.Status != StatusDone {
+			t.Fatalf("task %s: %s (%s)", task.Experiment, task.Status, task.Error)
+		}
+	}
+}
+
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postRuns(t, ts, `{"experiments":["table1/broadcast"],"quick":true,"wait":false}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async POST: status %d: %s", code, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var got JobView
+		if code := getJSON(t, ts, "/runs/"+v.ID, &got); code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+		if got.State == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	getJSON(t, ts, "/runs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
+		t.Fatalf("job listing = %+v", list.Jobs)
+	}
+}
+
+func TestDeleteCancelsJob(t *testing.T) {
+	release := make(chan struct{}, 1)
+	slow := func(id string, cfg harness.Config) (*result.Result, error) {
+		<-release
+		return DefaultRunner(id, cfg)
+	}
+	s := newTestServer(t, Options{Runner: slow, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postRuns(t, ts, `{"experiments":["table1/broadcast"],"quick":true,"wait":false}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	var v JobView
+	json.Unmarshal(body, &v)
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/runs/%s", ts.URL, v.ID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	release <- struct{}{}
+
+	job, _ := s.Job(v.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if state := job.Wait(ctx); state != StatusCancelled && state != StatusDone {
+		t.Fatalf("state after DELETE = %q", state)
+	}
+}

@@ -19,6 +19,33 @@ func New(title string, header ...string) *Table {
 	return &Table{title: title, header: header}
 }
 
+// FromData reconstructs a table from already-formatted cells. It is the
+// inverse of Title/Header/Rows and lets structured results (internal/result)
+// re-render the exact table a live run would have printed.
+func FromData(title string, header []string, rows [][]string) *Table {
+	t := &Table{title: title, header: append([]string(nil), header...)}
+	t.rows = make([][]string, len(rows))
+	for i, r := range rows {
+		t.rows[i] = append([]string(nil), r...)
+	}
+	return t
+}
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns a copy of the formatted data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // Row appends a row; values are formatted with %v (floats compactly).
 func (t *Table) Row(cells ...any) {
 	row := make([]string, len(cells))

@@ -6,6 +6,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -80,6 +81,58 @@ func (p *Pool) For(n int, fn func(i int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cancellation: once ctx is done, workers stop
+// dispatching new indices and the call drains promptly. In-flight fn calls
+// are never interrupted — fn itself must watch ctx if single calls are
+// long — so at most one call per worker completes after cancellation.
+// Returns ctx.Err() if the loop was cut short, nil if every index ran.
+//
+// The index space is chunked exactly like For; the cancellation check is one
+// atomic-free ctx.Err() poll per index, which is noise next to the work the
+// executor dispatches per index (a whole experiment run).
+func (p *Pool) ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // ForChunks invokes fn(lo, hi) for contiguous disjoint ranges covering

@@ -1,10 +1,81 @@
 package workpool
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
+
+func TestForCtxCoversAllWithoutCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		const n = 500
+		var hits [n]int32
+		if err := p.ForCtx(context.Background(), n, func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// Cancellation must drain promptly: with many slow items queued, cancelling
+// mid-flight stops dispatch after at most one in-flight item per worker
+// rather than running out the full index space.
+func TestForCtxCancellationDrainsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 10000
+		var started int32
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- p.ForCtx(ctx, n, func(i int) {
+				if atomic.AddInt32(&started, 1) <= int32(workers) {
+					<-release // hold the first wave until cancel lands
+				}
+			})
+		}()
+		for atomic.LoadInt32(&started) < int32(workers) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		close(release)
+		var err error
+		select {
+		case err = <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("workers=%d: ForCtx did not drain after cancellation", workers)
+		}
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// At most the in-flight wave (one per worker) may complete after
+		// cancel; everything else must have been skipped.
+		if s := atomic.LoadInt32(&started); s > int32(2*workers) {
+			t.Fatalf("workers=%d: %d items started after cancellation, want <= %d", workers, s, 2*workers)
+		}
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := int32(0)
+	if err := p.ForCtx(ctx, 100, func(i int) { atomic.AddInt32(&called, 1) }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called != 0 {
+		t.Fatalf("%d calls despite pre-cancelled context", called)
+	}
+}
 
 func TestForCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7, 16} {
