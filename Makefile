@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments verify export serve clean
+.PHONY: all build vet test race bench bench-smoke experiments verify export serve clean
 
 all: build test
 
@@ -25,6 +25,11 @@ race:
 # custom metrics (simtime-*, sep-x).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Engine benchmark smoke: one iteration of each machine's superstep-merge
+# benchmark, proving the bench harness compiles and runs (CI runs this).
+bench-smoke:
+	$(GO) test -run '^$$' -bench=Superstep -benchtime=1x -benchmem ./...
 
 # Regenerate every paper table (EXPERIMENTS.md quotes these).
 experiments:

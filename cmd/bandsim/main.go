@@ -47,7 +47,7 @@ func main() {
 	switch args[0] {
 	case "trace":
 		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "bandsim: trace needs a target (broadcast|prefix|unbalanced|listrank|sort)")
+			fmt.Fprintln(os.Stderr, "bandsim: trace needs a target (broadcast|prefix|unbalanced|listrank|sort, or any experiment id)")
 			os.Exit(2)
 		}
 		if err := runTrace(os.Stdout, args[1], *seed, *csv); err != nil {
@@ -143,7 +143,9 @@ usage:
   bandsim [flags] run <id>... | all
   bandsim [flags] export [dir]    write every experiment as CSV (default dir: results/)
   bandsim [flags] verify          run the reproduction checklist (PASS/FAIL per claim)
-  bandsim [flags] trace <algo>    per-superstep timeline of one algorithm run
+  bandsim [flags] trace <target>  per-superstep timeline: an algorithm name or
+                                  any experiment id (engine observer over every
+                                  machine the experiment drives)
   bandsim serve [serve flags]     HTTP run service: job queue + sweep executor over
                                   a content-addressed run store ('serve -h' for flags)
 

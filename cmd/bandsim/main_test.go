@@ -40,6 +40,48 @@ func TestRunTraceUnknown(t *testing.T) {
 	}
 }
 
+// A registered experiment id is a valid trace target: the engine observer
+// records every superstep of every machine the experiment drives.
+func TestRunTraceExperimentID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTrace(&buf, "table1/broadcast", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "superstep timeline: table1/broadcast") {
+		t.Fatalf("missing timeline header:\n%s", out)
+	}
+	// The Table 1 broadcast experiment drives both message-passing and
+	// shared-memory machines; the combined timeline should name each family.
+	if !strings.Contains(out, "bsp") || !strings.Contains(out, "qsm") {
+		t.Fatalf("timeline missing machine families:\n%s", out)
+	}
+	if !strings.Contains(out, "total simulated time") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+}
+
+// Mistyped trace targets suggest close matches from both the legacy
+// algorithm names and the experiment registry, and the error is non-nil so
+// main exits non-zero.
+func TestRunTraceUnknownSuggests(t *testing.T) {
+	var buf bytes.Buffer
+	err := runTrace(&buf, "brodcast", 1, false)
+	if err == nil {
+		t.Fatal("mistyped target accepted")
+	}
+	if !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), "broadcast") {
+		t.Fatalf("missing suggestion: %v", err)
+	}
+	err = runTrace(&buf, "table1/brodcast", 1, false)
+	if err == nil {
+		t.Fatal("mistyped experiment id accepted")
+	}
+	if !strings.Contains(err.Error(), "table1/broadcast") {
+		t.Fatalf("missing registry suggestion: %v", err)
+	}
+}
+
 func TestUnknownIDMessageSuggests(t *testing.T) {
 	msg := unknownIDMessage("table1/brodcast")
 	if !strings.Contains(msg, `unknown experiment "table1/brodcast"`) {

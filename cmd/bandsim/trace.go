@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"parbw/internal/bsp"
 	"parbw/internal/collective"
+	"parbw/internal/engine"
+	"parbw/internal/harness"
 	"parbw/internal/model"
 	"parbw/internal/problems"
 	"parbw/internal/sched"
@@ -14,8 +17,11 @@ import (
 	"parbw/internal/xrand"
 )
 
-// traceTargets maps `bandsim trace <name>` to algorithm drivers executed on
-// a traced BSP(m) machine (p=256, m=32, L=4, exponential penalty).
+// traceTargets maps the classic `bandsim trace <name>` algorithm targets to
+// drivers executed on a traced BSP(m) machine (p=256, m=32, L=4, exponential
+// penalty). Any registered experiment id is also a valid trace target: it is
+// run under a process-global engine observer that records every superstep of
+// every machine the experiment constructs.
 var traceTargets = map[string]func(m *bsp.Machine, seed uint64){
 	"broadcast": func(m *bsp.Machine, seed uint64) {
 		collective.BroadcastBSP(m, 0, 1)
@@ -44,33 +50,100 @@ var traceTargets = map[string]func(m *bsp.Machine, seed uint64){
 	},
 }
 
-// runTrace executes the named algorithm on a traced machine and prints a
-// per-superstep timeline: work, h, injection steps, max per-step load,
-// overloads, c_m and the superstep's charged cost.
-func runTrace(w io.Writer, name string, seed uint64, csv bool) error {
-	fn, ok := traceTargets[name]
-	if !ok {
-		names := make([]string, 0, len(traceTargets))
-		for n := range traceTargets {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		return fmt.Errorf("unknown trace target %q (have %v)", name, names)
+// traceTargetNames returns the legacy algorithm target names, sorted.
+func traceTargetNames() []string {
+	names := make([]string, 0, len(traceTargets))
+	for n := range traceTargets {
+		names = append(names, n)
 	}
-	m := bsp.New(bsp.Config{P: 256, Cost: model.BSPm(32, 4), Seed: seed, Trace: true})
-	fn(m, seed)
-	t := tablefmt.New(fmt.Sprintf("superstep timeline: %s (p=256, m=32, L=4)", name),
-		"superstep", "work", "h", "msgs", "steps", "maxload", "overloads", "c_m", "cost", "cum time")
+	sort.Strings(names)
+	return names
+}
+
+// unknownTraceTargetError formats the failure for a mistyped trace target
+// with closest-match suggestions drawn from both the legacy algorithm names
+// and the experiment registry, mirroring `bandsim run`'s behavior.
+func unknownTraceTargetError(name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unknown trace target %q", name)
+	var sug []string
+	q := strings.ToLower(strings.TrimSpace(name))
+	for _, n := range traceTargetNames() {
+		common := 0
+		for common < len(n) && common < len(q) && n[common] == q[common] {
+			common++
+		}
+		if q != "" && (strings.Contains(n, q) || common >= 3) {
+			sug = append(sug, n)
+		}
+	}
+	sug = append(sug, harness.Suggest(name)...)
+	if len(sug) > 0 {
+		b.WriteString("\ndid you mean:\n")
+		for _, s := range sug {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+		b.WriteString("targets are the algorithm names ")
+		fmt.Fprintf(&b, "%v or any experiment id ('bandsim list')", traceTargetNames())
+	} else {
+		fmt.Fprintf(&b, "\ntargets are the algorithm names %v or any experiment id ('bandsim list')", traceTargetNames())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// runTrace executes the named target and prints a per-superstep timeline:
+// work, h, injection steps, max per-step load, overloads, c_m and the
+// superstep's charged cost. A legacy algorithm name runs on a dedicated
+// traced BSP(m) machine; an experiment id runs the experiment under a global
+// engine observer, so the timeline covers every machine (BSP, QSM, PRAM)
+// the experiment drives.
+func runTrace(w io.Writer, name string, seed uint64, csv bool) error {
+	if fn, ok := traceTargets[name]; ok {
+		m := bsp.New(bsp.Config{P: 256, Cost: model.BSPm(32, 4), Seed: seed, Trace: true})
+		fn(m, seed)
+		t := tablefmt.New(fmt.Sprintf("superstep timeline: %s (p=256, m=32, L=4)", name),
+			"superstep", "work", "h", "msgs", "steps", "maxload", "overloads", "c_m", "cost", "cum time")
+		cum := 0.0
+		for i, st := range m.Trace() {
+			cum += st.Cost
+			t.Row(i, st.W, st.H, st.N, st.Steps, st.MaxSlot, st.Overload, st.CM, st.Cost, cum)
+		}
+		if csv {
+			fmt.Fprint(w, t.CSV())
+		} else {
+			fmt.Fprintln(w, t.String())
+		}
+		fmt.Fprintf(w, "total simulated time: %.1f over %d supersteps\n", m.Time(), m.Supersteps())
+		return nil
+	}
+	if e, ok := harness.ByID(name); ok {
+		return traceExperiment(w, e, seed, csv)
+	}
+	return unknownTraceTargetError(name)
+}
+
+// traceExperiment runs one registered experiment with a recording observer
+// attached and prints the combined timeline of every machine it drove.
+func traceExperiment(w io.Writer, e harness.Experiment, seed uint64, csv bool) error {
+	var steps []engine.StepStats
+	obs := engine.ObserverFunc(func(st engine.StepStats) {
+		steps = append(steps, st)
+	})
+	cfg := harness.Config{Seed: seed, Quick: true, Observer: obs}
+	e.Run(io.Discard, cfg)
+
+	t := tablefmt.New(fmt.Sprintf("superstep timeline: %s (quick, seed %d)", e.ID, seed),
+		"#", "machine", "step", "work", "h", "msgs", "steps", "maxload", "overloads", "c_m", "cost", "cum time")
 	cum := 0.0
-	for i, st := range m.Trace() {
+	for i, st := range steps {
 		cum += st.Cost
-		t.Row(i, st.W, st.H, st.N, st.Steps, st.MaxSlot, st.Overload, st.CM, st.Cost, cum)
+		t.Row(i, st.Machine, st.Index, st.W, st.H, st.N, st.Steps, st.MaxSlot, st.Overload, st.CM, st.Cost, cum)
 	}
 	if csv {
 		fmt.Fprint(w, t.CSV())
 	} else {
 		fmt.Fprintln(w, t.String())
 	}
-	fmt.Fprintf(w, "total simulated time: %.1f over %d supersteps\n", m.Time(), m.Supersteps())
+	fmt.Fprintf(w, "total simulated time: %.1f over %d machine steps\n", cum, len(steps))
 	return nil
 }

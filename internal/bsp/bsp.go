@@ -19,14 +19,18 @@
 //
 // Non-receipt of messages is observable (an empty inbox is information),
 // which the ternary broadcast of the paper's Section 4.2 exploits.
+//
+// The superstep loop itself — context lifecycle, worker-pool fan-out, clock
+// and trace commit, observer fan-out — lives in internal/engine; this
+// package contributes the BSP-specific merge strategy (schedule validation,
+// message routing, cost accounting).
 package bsp
 
 import (
 	"fmt"
-	"sort"
 
+	"parbw/internal/engine"
 	"parbw/internal/model"
-	"parbw/internal/workpool"
 	"parbw/internal/xrand"
 )
 
@@ -79,6 +83,9 @@ type Config struct {
 	Workers int
 	// Trace, if true, retains the Stats of every superstep (Machine.Trace).
 	Trace bool
+	// Observer, if non-nil, receives a normalized engine.StepStats callback
+	// after every superstep (Machine.Attach adds more).
+	Observer engine.Observer
 }
 
 // Machine is a simulated BSP machine. Methods must be called from a single
@@ -87,18 +94,18 @@ type Config struct {
 type Machine struct {
 	p    int
 	cost model.Cost
-	pool *workpool.Pool
+	core *engine.Core[Stats]
 
 	ctxs  []Ctx
 	inbox [][]Msg // inbox[i]: messages delivered to processor i, readable this superstep
 	spare [][]Msg // recycled inbox buffers for the next superstep
-	hist  []int   // recycled per-step injection histogram
 
-	time  model.Time
-	steps int
-	last  Stats
-	trace []Stats
-	keep  bool
+	// fn is the program of the superstep in flight; body and mergeFn are the
+	// closures handed to the engine core, built once so that Superstep itself
+	// is allocation-free.
+	fn      func(c *Ctx)
+	body    func(i int)
+	mergeFn func() (Stats, engine.StepStats)
 }
 
 // New constructs a Machine. It panics on invalid configuration, since a
@@ -113,16 +120,25 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		p:     cfg.P,
 		cost:  cfg.Cost,
-		pool:  workpool.New(cfg.Workers),
+		core:  engine.NewCore[Stats]("bsp", cfg.P, cfg.Workers, cfg.Trace),
 		ctxs:  make([]Ctx, cfg.P),
 		inbox: make([][]Msg, cfg.P),
 		spare: make([][]Msg, cfg.P),
-		keep:  cfg.Trace,
 	}
+	m.core.Attach(cfg.Observer)
 	root := xrand.New(cfg.Seed)
 	for i := range m.ctxs {
 		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
 	}
+	m.body = func(i int) {
+		c := &m.ctxs[i]
+		c.work = 0
+		c.sends = c.sends[:0]
+		c.autoSlot = 0
+		c.recvUsed = false
+		m.fn(c)
+	}
+	m.mergeFn = m.merge
 	return m
 }
 
@@ -136,21 +152,24 @@ func (m *Machine) Cost() model.Cost { return m.cost }
 func (m *Machine) L() int { return m.cost.L }
 
 // Time returns the accumulated simulated time.
-func (m *Machine) Time() model.Time { return m.time }
+func (m *Machine) Time() model.Time { return m.core.Time() }
 
 // Supersteps returns the number of supersteps executed.
-func (m *Machine) Supersteps() int { return m.steps }
+func (m *Machine) Supersteps() int { return m.core.Steps() }
 
 // Last returns the Stats of the most recent superstep.
-func (m *Machine) Last() Stats { return m.last }
+func (m *Machine) Last() Stats { return m.core.Last() }
 
 // Trace returns the retained per-superstep Stats (nil unless Config.Trace).
-func (m *Machine) Trace() []Stats { return m.trace }
+func (m *Machine) Trace() []Stats { return m.core.Trace() }
+
+// Attach registers an observer for this machine's supersteps.
+func (m *Machine) Attach(obs engine.Observer) { m.core.Attach(obs) }
 
 // ChargeTime adds t units of simulated time outside any superstep. It is
 // used by protocols whose analysis charges fixed terms (for example a known
 // constant broadcast cost) without simulating them step by step.
-func (m *Machine) ChargeTime(t model.Time) { m.time += t }
+func (m *Machine) ChargeTime(t model.Time) { m.core.ChargeTime(t) }
 
 // Ctx is the per-processor view of the current superstep. A Ctx is valid
 // only inside the program function of the superstep it was passed to.
@@ -234,29 +253,15 @@ func (c *Ctx) sendAt(slot, dst int, msg Msg) {
 // delivered, the superstep is costed under the machine's model, and the
 // machine clock advances. It returns the superstep's Stats.
 func (m *Machine) Superstep(fn func(c *Ctx)) Stats {
-	// Run processor programs in parallel.
-	m.pool.For(m.p, func(i int) {
-		c := &m.ctxs[i]
-		c.work = 0
-		c.sends = c.sends[:0]
-		c.autoSlot = 0
-		c.recvUsed = false
-		fn(c)
-	})
-
-	st := m.merge()
-	m.time += st.Cost
-	m.steps++
-	m.last = st
-	if m.keep {
-		m.trace = append(m.trace, st)
-	}
+	m.fn = fn
+	st := m.core.Step(m.body, m.mergeFn)
+	m.fn = nil
 	return st
 }
 
-// merge performs the bulk synchronization: validates injection schedules,
-// builds the per-step histogram, routes messages, and computes the cost.
-func (m *Machine) merge() Stats {
+// merge is the BSP merge strategy: it validates injection schedules, builds
+// the per-step histogram, routes messages, and computes the cost.
+func (m *Machine) merge() (Stats, engine.StepStats) {
 	var st Stats
 
 	// Sizes first (single pass over processors).
@@ -284,33 +289,23 @@ func (m *Machine) merge() Stats {
 	// Per-step histogram and per-processor schedule validation. Validation
 	// sorts each processor's (slot, len) intervals and rejects overlaps:
 	// the model permits at most one flit injection per processor per step.
-	// The histogram and next-inbox buffers are recycled across supersteps;
-	// Recv slices are therefore only valid within their superstep, as
-	// documented.
-	if cap(m.hist) < maxStep {
-		m.hist = make([]int, maxStep)
-	}
-	hist := m.hist[:maxStep]
-	for i := range hist {
-		hist[i] = 0
-	}
-	recv := make([]int, m.p)
+	// The histogram, receive-ledger and next-inbox buffers are recycled
+	// across supersteps; Recv slices are therefore only valid within their
+	// superstep, as documented.
+	hist := m.core.Hist(maxStep)
+	recv := m.core.Ledger()
 	next := m.spare
 	for d := range next {
 		next[d] = next[d][:0]
 	}
 	for i := range m.ctxs {
 		c := &m.ctxs[i]
-		if len(c.sends) > 1 {
-			sort.Slice(c.sends, func(a, b int) bool { return c.sends[a].slot < c.sends[b].slot })
-			prevEnd := -1
-			for _, s := range c.sends {
-				if s.slot < prevEnd {
-					panic(fmt.Sprintf("bsp: proc %d injects two flits in step %d (model allows one send initiation per step)", i, s.slot))
-				}
-				prevEnd = s.slot + s.msg.Flits()
-			}
-		}
+		engine.CheckSchedule(c.sends,
+			func(s send) int { return s.slot },
+			func(s send) int { return s.msg.Flits() },
+			func(slot int) {
+				panic(fmt.Sprintf("bsp: proc %d injects two flits in step %d (model allows one send initiation per step)", i, slot))
+			})
 		for _, s := range c.sends {
 			fl := s.msg.Flits()
 			for f := 0; f < fl; f++ {
@@ -321,11 +316,10 @@ func (m *Machine) merge() Stats {
 			next[d] = append(next[d], s.msg)
 		}
 	}
-	for d, r := range recv {
+	for _, r := range recv {
 		if r > st.HRecv {
 			st.HRecv = r
 		}
-		_ = d
 	}
 	st.H = st.HSend
 	if st.HRecv > st.H {
@@ -346,7 +340,11 @@ func (m *Machine) merge() Stats {
 
 	m.spare = m.inbox
 	m.inbox = next
-	return st
+	return st, engine.StepStats{
+		W: st.W, H: st.H, N: st.N,
+		Steps: st.Steps, MaxSlot: st.MaxSlot, Overload: st.Overload,
+		CM: st.CM, Cost: st.Cost, Hist: hist,
+	}
 }
 
 // Inbox returns processor i's current inbox (the messages it would see via
@@ -372,8 +370,5 @@ func (m *Machine) Reset() {
 		m.inbox[i] = nil
 		m.spare[i] = nil
 	}
-	m.time = 0
-	m.steps = 0
-	m.last = Stats{}
-	m.trace = nil
+	m.core.ResetClock()
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"parbw/internal/engine"
 	"parbw/internal/result"
 	"parbw/internal/tablefmt"
 )
@@ -34,6 +35,12 @@ type Config struct {
 	Seed  uint64
 	Quick bool // smaller sweeps (used by tests and -quick)
 	CSV   bool // emit CSV instead of aligned tables
+	// Observer, if non-nil, receives an engine.StepStats callback for every
+	// superstep of every machine the experiment constructs. It is attached
+	// via the engine's process-global tap for the duration of the run, so it
+	// suits single-run tooling (`bandsim trace`) and tests; concurrent runs
+	// in the same process would observe each other's machines.
+	Observer engine.Observer
 }
 
 // Recorder collects the structured output of one experiment run. Experiment
@@ -150,6 +157,10 @@ func Suggest(id string) []string {
 func (e Experiment) Run(w io.Writer, cfg Config) *result.Result {
 	res := result.New(e.ID, e.Title, e.Source, result.Params{Seed: cfg.Seed, Quick: cfg.Quick})
 	rec := &Recorder{Cfg: cfg, res: res}
+	if cfg.Observer != nil {
+		remove := engine.AddGlobalObserver(cfg.Observer)
+		defer remove()
+	}
 	start := time.Now()
 	e.run(rec)
 	res.WallNS = time.Since(start).Nanoseconds()

@@ -12,13 +12,18 @@
 // max(1, κ) on QRQW machines, where κ is the maximum per-cell queue. EREW
 // machines panic on any concurrent access, which is how the engine surfaces
 // algorithmic model violations.
+//
+// The lock-step loop itself — context lifecycle, worker-pool fan-out, clock
+// commit, observer fan-out — lives in internal/engine; this package
+// contributes the PRAM-specific commit strategy (contention accounting,
+// write resolution, bit accounting).
 package pram
 
 import (
 	"fmt"
 
+	"parbw/internal/engine"
 	"parbw/internal/model"
-	"parbw/internal/workpool"
 	"parbw/internal/xrand"
 )
 
@@ -73,6 +78,9 @@ type Config struct {
 	CellBits int
 	Seed     uint64
 	Workers  int
+	// Observer, if non-nil, receives a normalized engine.StepStats callback
+	// after every step (Machine.Attach adds more).
+	Observer engine.Observer
 }
 
 // Stats describes one executed step.
@@ -93,14 +101,28 @@ type Machine struct {
 	rom      []int64
 	mode     Mode
 	cellBits int
-	pool     *workpool.Pool
+	core     *engine.Core[Stats]
 	ctxs     []Ctx
 
-	time    model.Time
-	steps   int
 	romRead int
 	bits    int
-	last    Stats
+
+	// scratch buffers recycled across steps: the gathered access list, the
+	// per-cell contention counters (with the touched-cell list that resets
+	// them), and the write-resolution state for the Common/Priority rules.
+	acc              []access
+	rdCount, wrCount []int
+	touched          []int
+	sawWrite         []bool
+	lastVal          []int64 // Common rule: previous writer's value per cell
+	winner           []int   // Priority rule: lowest writer id per cell
+
+	// fn is the program of the step in flight; body and commitFn are the
+	// closures handed to the engine core, built once so that Step itself is
+	// allocation-free.
+	fn       func(c *Ctx)
+	body     func(i int)
+	commitFn func() (Stats, engine.StepStats)
 }
 
 // New constructs a Machine; it panics on invalid configuration.
@@ -124,13 +146,26 @@ func New(cfg Config) *Machine {
 		rom:      cfg.ROM,
 		mode:     cfg.Mode,
 		cellBits: bits,
-		pool:     workpool.New(cfg.Workers),
+		core:     engine.NewCore[Stats]("pram", cfg.P, cfg.Workers, false),
 		ctxs:     make([]Ctx, cfg.P),
+		rdCount:  make([]int, cfg.Mem),
+		wrCount:  make([]int, cfg.Mem),
+		sawWrite: make([]bool, cfg.Mem),
+		lastVal:  make([]int64, cfg.Mem),
+		winner:   make([]int, cfg.Mem),
 	}
+	m.core.Attach(cfg.Observer)
 	root := xrand.New(cfg.Seed)
 	for i := range m.ctxs {
 		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
 	}
+	m.body = func(i int) {
+		c := &m.ctxs[i]
+		c.hasRd, c.hasWr = false, false
+		c.romHits = 0
+		m.fn(c)
+	}
+	m.commitFn = m.commit
 	return m
 }
 
@@ -147,10 +182,10 @@ func (m *Machine) Mode() Mode { return m.mode }
 func (m *Machine) CellBits() int { return m.cellBits }
 
 // Time returns accumulated simulated time.
-func (m *Machine) Time() model.Time { return m.time }
+func (m *Machine) Time() model.Time { return m.core.Time() }
 
 // Steps returns the number of steps executed.
-func (m *Machine) Steps() int { return m.steps }
+func (m *Machine) Steps() int { return m.core.Steps() }
 
 // BitsMoved returns the total shared-memory bits read or written so far,
 // the quantity bounded below by Lemma 5.3's information argument.
@@ -160,7 +195,10 @@ func (m *Machine) BitsMoved() int { return m.bits }
 func (m *Machine) ROMReads() int { return m.romRead }
 
 // Last returns the Stats of the most recent step.
-func (m *Machine) Last() Stats { return m.last }
+func (m *Machine) Last() Stats { return m.core.Last() }
+
+// Attach registers an observer for this machine's steps.
+func (m *Machine) Attach(obs engine.Observer) { m.core.Attach(obs) }
 
 // Load reads shared memory directly, free of charge (tests and drivers).
 func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
@@ -239,24 +277,20 @@ func (c *Ctx) ReadROM(addr int) int64 {
 // validated against the mode, writes are resolved and applied, and the clock
 // advances. It returns the step's Stats.
 func (m *Machine) Step(fn func(c *Ctx)) Stats {
-	m.pool.For(m.p, func(i int) {
-		c := &m.ctxs[i]
-		c.hasRd, c.hasWr = false, false
-		c.romHits = 0
-		fn(c)
-	})
-	st := m.commit()
-	m.time += st.Cost
-	m.steps++
+	m.fn = fn
+	st := m.core.Step(m.body, m.commitFn)
+	m.fn = nil
 	m.bits += st.Bits
-	m.last = st
 	return st
 }
 
-func (m *Machine) commit() Stats {
+// commit is the PRAM merge strategy: gather accesses in processor order,
+// compute per-cell contention, enforce the mode's rules, resolve writes, and
+// price the step.
+func (m *Machine) commit() (Stats, engine.StepStats) {
 	var st Stats
 	// Gather accesses in processor order (determinism).
-	var acc []access
+	acc := m.acc[:0]
 	for i := range m.ctxs {
 		c := &m.ctxs[i]
 		if c.hasRd {
@@ -272,30 +306,34 @@ func (m *Machine) commit() Stats {
 		}
 		m.romRead += c.romHits
 	}
+	m.acc = acc
+
 	// Contention per cell, separately for reads and writes (a cell that is
 	// both read and written in one step is CR+CW territory: permitted on
-	// CRCW — the read sees the old value — but an EREW violation).
-	rd := map[int]int{}
-	wr := map[int]int{}
+	// CRCW — the read sees the old value — but an EREW violation). The
+	// counters are recycled: only touched cells are non-zero, and they are
+	// reset below once the step is resolved.
+	m.touched = m.touched[:0]
 	for _, a := range acc {
+		if m.rdCount[a.addr] == 0 && m.wrCount[a.addr] == 0 {
+			m.touched = append(m.touched, a.addr)
+		}
 		if a.write {
-			wr[a.addr]++
+			m.wrCount[a.addr]++
 		} else {
-			rd[a.addr]++
+			m.rdCount[a.addr]++
 		}
 	}
-	for addr, n := range rd {
-		k := n
-		if wr[addr] > 0 && m.mode == EREW {
+	for _, addr := range m.touched {
+		rd, wr := m.rdCount[addr], m.wrCount[addr]
+		if rd > 0 && wr > 0 && m.mode == EREW {
 			panic(fmt.Sprintf("pram: EREW cell %d read and written in one step", addr))
 		}
-		if k > st.Kappa {
-			st.Kappa = k
+		if rd > st.Kappa {
+			st.Kappa = rd
 		}
-	}
-	for _, n := range wr {
-		if n > st.Kappa {
-			st.Kappa = n
+		if wr > st.Kappa {
+			st.Kappa = wr
 		}
 	}
 	if m.mode == EREW && st.Kappa > 1 {
@@ -305,25 +343,25 @@ func (m *Machine) commit() Stats {
 	// Resolve writes.
 	switch m.mode {
 	case CRCWCommon:
-		seen := map[int]int64{}
 		for _, a := range acc {
 			if !a.write {
 				continue
 			}
-			if v, ok := seen[a.addr]; ok && v != a.val {
-				panic(fmt.Sprintf("pram: Common-CRCW writers disagree at cell %d (%d vs %d)", a.addr, v, a.val))
+			if m.sawWrite[a.addr] && m.lastVal[a.addr] != a.val {
+				panic(fmt.Sprintf("pram: Common-CRCW writers disagree at cell %d (%d vs %d)", a.addr, m.lastVal[a.addr], a.val))
 			}
-			seen[a.addr] = a.val
+			m.sawWrite[a.addr] = true
+			m.lastVal[a.addr] = a.val
 			m.mem[a.addr] = a.val
 		}
 	case CRCWPriority:
-		won := map[int]int{}
 		for _, a := range acc {
 			if !a.write {
 				continue
 			}
-			if w, ok := won[a.addr]; !ok || a.proc < w {
-				won[a.addr] = a.proc
+			if !m.sawWrite[a.addr] || a.proc < m.winner[a.addr] {
+				m.sawWrite[a.addr] = true
+				m.winner[a.addr] = a.proc
 				m.mem[a.addr] = a.val
 			}
 		}
@@ -336,12 +374,21 @@ func (m *Machine) commit() Stats {
 		}
 	}
 
+	// Reset the recycled per-cell scratch for the next step.
+	for _, addr := range m.touched {
+		m.rdCount[addr], m.wrCount[addr] = 0, 0
+		m.sawWrite[addr] = false
+	}
+
 	st.Cost = 1
 	if m.mode == QRQW && st.Kappa > 1 {
 		st.Cost = model.Time(st.Kappa)
 	}
 	st.Bits = (st.Reads + st.Writes) * m.cellBits
-	return st
+	return st, engine.StepStats{
+		H: st.Kappa, N: st.Reads + st.Writes,
+		Steps: 1, MaxSlot: st.Kappa, Cost: st.Cost,
+	}
 }
 
 // Run executes fn for steps consecutive steps, passing the step index.
@@ -356,9 +403,7 @@ func (m *Machine) Reset() {
 	for i := range m.mem {
 		m.mem[i] = 0
 	}
-	m.time = 0
-	m.steps = 0
 	m.bits = 0
 	m.romRead = 0
-	m.last = Stats{}
+	m.core.ResetClock()
 }

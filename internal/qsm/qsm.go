@@ -16,14 +16,18 @@
 // max(w, h, κ, c_m) where c_m is computed from the exact per-step request
 // histogram (processors schedule requests into steps via ReadAt/WriteAt, at
 // most one request per processor per step).
+//
+// The phase loop itself — context lifecycle, worker-pool fan-out, clock and
+// trace commit, observer fan-out — lives in internal/engine; this package
+// contributes the QSM-specific merge strategy (request validation,
+// contention accounting, write resolution, cost accounting).
 package qsm
 
 import (
 	"fmt"
-	"sort"
 
+	"parbw/internal/engine"
 	"parbw/internal/model"
-	"parbw/internal/workpool"
 	"parbw/internal/xrand"
 )
 
@@ -49,6 +53,9 @@ type Config struct {
 	Seed    uint64
 	Workers int
 	Trace   bool
+	// Observer, if non-nil, receives a normalized engine.StepStats callback
+	// after every phase (Machine.Attach adds more).
+	Observer engine.Observer
 }
 
 // request is a buffered shared-memory access.
@@ -65,21 +72,21 @@ type Machine struct {
 	p    int
 	mem  []int64
 	cost model.Cost
-	pool *workpool.Pool
+	core *engine.Core[Stats]
 
 	ctxs []Ctx
-
-	time  model.Time
-	steps int
-	last  Stats
-	trace []Stats
-	keep  bool
 
 	// scratch contention counters indexed by address, plus the touched
 	// addresses of the current phase, reused across phases
 	rdCount, wrCount []int
 	touched          []int
-	hist             []int
+
+	// fn is the program of the phase in flight; body and mergeFn are the
+	// closures handed to the engine core, built once so that Phase itself is
+	// allocation-free.
+	fn      func(c *Ctx)
+	body    func(i int)
+	mergeFn func() (Stats, engine.StepStats)
 }
 
 // New constructs a Machine; it panics on invalid configuration.
@@ -97,16 +104,25 @@ func New(cfg Config) *Machine {
 		p:       cfg.P,
 		mem:     make([]int64, cfg.Mem),
 		cost:    cfg.Cost,
-		pool:    workpool.New(cfg.Workers),
+		core:    engine.NewCore[Stats]("qsm", cfg.P, cfg.Workers, cfg.Trace),
 		ctxs:    make([]Ctx, cfg.P),
-		keep:    cfg.Trace,
 		rdCount: make([]int, cfg.Mem),
 		wrCount: make([]int, cfg.Mem),
 	}
+	m.core.Attach(cfg.Observer)
 	root := xrand.New(cfg.Seed)
 	for i := range m.ctxs {
 		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
 	}
+	m.body = func(i int) {
+		c := &m.ctxs[i]
+		c.work = 0
+		c.reqs = c.reqs[:0]
+		c.nr, c.nw = 0, 0
+		c.autoSlot = 0
+		m.fn(c)
+	}
+	m.mergeFn = m.merge
 	return m
 }
 
@@ -120,19 +136,22 @@ func (m *Machine) Mem() int { return len(m.mem) }
 func (m *Machine) Cost() model.Cost { return m.cost }
 
 // Time returns the accumulated simulated time.
-func (m *Machine) Time() model.Time { return m.time }
+func (m *Machine) Time() model.Time { return m.core.Time() }
 
 // Phases returns the number of phases executed.
-func (m *Machine) Phases() int { return m.steps }
+func (m *Machine) Phases() int { return m.core.Steps() }
 
 // Last returns the Stats of the most recent phase.
-func (m *Machine) Last() Stats { return m.last }
+func (m *Machine) Last() Stats { return m.core.Last() }
 
 // Trace returns retained per-phase Stats (nil unless Config.Trace).
-func (m *Machine) Trace() []Stats { return m.trace }
+func (m *Machine) Trace() []Stats { return m.core.Trace() }
+
+// Attach registers an observer for this machine's phases.
+func (m *Machine) Attach(obs engine.Observer) { m.core.Attach(obs) }
 
 // ChargeTime adds simulated time outside any phase.
-func (m *Machine) ChargeTime(t model.Time) { m.time += t }
+func (m *Machine) ChargeTime(t model.Time) { m.core.ChargeTime(t) }
 
 // Load reads shared memory directly, free of model charge (setup and
 // inspection only).
@@ -209,25 +228,15 @@ func (c *Ctx) addReq(slot, addr int, val int64, write bool) {
 // Phase executes fn for every processor, applies buffered writes, computes
 // contention and cost, and advances the clock. It returns the phase Stats.
 func (m *Machine) Phase(fn func(c *Ctx)) Stats {
-	m.pool.For(m.p, func(i int) {
-		c := &m.ctxs[i]
-		c.work = 0
-		c.reqs = c.reqs[:0]
-		c.nr, c.nw = 0, 0
-		c.autoSlot = 0
-		fn(c)
-	})
-	st := m.merge()
-	m.time += st.Cost
-	m.steps++
-	m.last = st
-	if m.keep {
-		m.trace = append(m.trace, st)
-	}
+	m.fn = fn
+	st := m.core.Step(m.body, m.mergeFn)
+	m.fn = nil
 	return st
 }
 
-func (m *Machine) merge() Stats {
+// merge is the QSM merge strategy: it validates request schedules, computes
+// contention κ, applies buffered writes, and prices the phase.
+func (m *Machine) merge() (Stats, engine.StepStats) {
 	var st Stats
 	m.touched = m.touched[:0]
 
@@ -247,14 +256,12 @@ func (m *Machine) merge() Stats {
 		st.Reads += c.nr
 		st.Writes += c.nw
 		// Validate one request per processor per step.
-		if len(c.reqs) > 1 {
-			sort.Slice(c.reqs, func(a, b int) bool { return c.reqs[a].slot < c.reqs[b].slot })
-			for j := 1; j < len(c.reqs); j++ {
-				if c.reqs[j].slot == c.reqs[j-1].slot {
-					panic(fmt.Sprintf("qsm: proc %d issues two requests in step %d", i, c.reqs[j].slot))
-				}
-			}
-		}
+		engine.CheckSchedule(c.reqs,
+			func(r request) int { return r.slot },
+			func(r request) int { return 1 },
+			func(slot int) {
+				panic(fmt.Sprintf("qsm: proc %d issues two requests in step %d", i, slot))
+			})
 		for _, r := range c.reqs {
 			if r.slot+1 > maxStep {
 				maxStep = r.slot + 1
@@ -292,13 +299,7 @@ func (m *Machine) merge() Stats {
 
 	// Histogram over request steps; apply writes in processor order so the
 	// highest-numbered writer wins deterministically (Arbitrary rule).
-	if cap(m.hist) < maxStep {
-		m.hist = make([]int, maxStep)
-	}
-	hist := m.hist[:maxStep]
-	for i := range hist {
-		hist[i] = 0
-	}
+	hist := m.core.Hist(maxStep)
 	for i := range m.ctxs {
 		c := &m.ctxs[i]
 		for _, r := range c.reqs {
@@ -320,7 +321,11 @@ func (m *Machine) merge() Stats {
 		st.CM = m.cost.CM(hist)
 	}
 	st.Cost = m.cost.QSMPhase(st.W, st.H, st.Kappa, hist)
-	return st
+	return st, engine.StepStats{
+		W: st.W, H: st.H, N: st.Reads + st.Writes,
+		Steps: st.Steps, MaxSlot: st.MaxSlot, Overload: st.Overload,
+		CM: st.CM, Cost: st.Cost, Hist: hist,
+	}
 }
 
 // Reset clears memory, time and trace, preserving processor RNG state.
@@ -328,8 +333,5 @@ func (m *Machine) Reset() {
 	for i := range m.mem {
 		m.mem[i] = 0
 	}
-	m.time = 0
-	m.steps = 0
-	m.last = Stats{}
-	m.trace = nil
+	m.core.ResetClock()
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"parbw/internal/engine"
 	"parbw/internal/harness"
 	"parbw/internal/runstore"
 )
@@ -20,7 +21,9 @@ import (
 //	                    64-hex run-store key — the stored canonical result JSON
 //	DELETE /runs/{id}   cancel a job
 //	GET  /healthz       liveness
-//	GET  /statsz        run-store hit/miss counters + executor counters
+//	GET  /statsz        run-store hit/miss counters + executor counters +
+//	                    aggregate engine counters (supersteps simulated,
+//	                    traffic units routed, max slot load, overloads)
 //
 // All responses are JSON. A stored result served by key is returned byte-
 // for-byte as stored, so repeated fetches are binary-identical.
@@ -146,15 +149,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsView struct {
-	Store    runstore.Stats `json:"store"`
-	Executor Stats          `json:"executor"`
-	Time     time.Time      `json:"time"`
+	Store    runstore.Stats  `json:"store"`
+	Executor Stats           `json:"executor"`
+	Engine   engine.Counters `json:"engine"`
+	Time     time.Time       `json:"time"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsView{
 		Store:    s.opts.Store.Stats(),
 		Executor: s.Stats(),
+		Engine:   engine.GlobalCounters(),
 		Time:     time.Now().UTC(),
 	})
 }

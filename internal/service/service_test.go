@@ -167,6 +167,17 @@ func TestRepeatedRunServedFromStore(t *testing.T) {
 		t.Fatalf("executor cached-task counter = %d, want >= 2", st2.Executor.TasksCached)
 	}
 
+	// The first job drove real machines, so the process-wide engine counters
+	// must be visible on /statsz; the second job was served from the store
+	// and must not have advanced them.
+	if st1.Engine.Supersteps == 0 || st1.Engine.Messages == 0 {
+		t.Fatalf("engine counters not reported after a real run: %+v", st1.Engine)
+	}
+	if st2.Engine.Supersteps != st1.Engine.Supersteps {
+		t.Fatalf("cached job advanced engine supersteps: %d -> %d",
+			st1.Engine.Supersteps, st2.Engine.Supersteps)
+	}
+
 	// The stored result is also directly addressable by its key.
 	key := j1.Tasks[0].Key
 	resp, err := http.Get(ts.URL + "/runs/" + key)
