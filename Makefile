@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke experiments verify export serve clean
+.PHONY: all build vet test race chaos bench bench-smoke experiments verify export serve clean
 
 all: build test
 
@@ -20,6 +20,14 @@ test:
 # Full suite under the race detector (CI runs this).
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault-injection suite (CI runs this): the internal/fault
+# framework, the hardened run store, and the service chaos tests — fixed
+# plan seeds, so failures replay bit-identically. Race detector on, cache
+# off, so injected faults actually re-fire every run.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault ./internal/runstore
+	$(GO) test -race -count=1 -run 'Chaos|Breaker|Backoff|EncodeErrors' ./internal/service
 
 # One benchmark per paper table/figure; simulated model time reported as
 # custom metrics (simtime-*, sep-x).

@@ -16,7 +16,9 @@ import (
 )
 
 // runServe starts the experiment run service: the HTTP API over the job
-// queue, sweep executor, and content-addressed run store.
+// queue, sweep executor, and content-addressed run store. On SIGINT/SIGTERM
+// it drains gracefully — running jobs finish inside the drain deadline,
+// queued jobs cancel, new submissions get 503 — before the listener stops.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
@@ -25,6 +27,8 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "sweep executor fan-out width (0 = GOMAXPROCS)")
 	timeout := fs.Duration("job-timeout", 5*time.Minute, "default per-job timeout")
 	retries := fs.Int("retries", 2, "extra attempts per failed task")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
+	scrub := fs.Bool("scrub", false, "verify every stored entry at startup (quarantining corrupt ones)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: bandsim serve [flags]")
 		fs.PrintDefaults()
@@ -36,6 +40,14 @@ func runServe(args []string) error {
 	store, err := runstore.Open(*storeDir, *maxMem)
 	if err != nil {
 		return err
+	}
+	if *scrub {
+		rep, err := store.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bandsim serve: scrub checked %d entries, quarantined %d, swept %d temp files\n",
+			rep.Checked, rep.Quarantined, rep.TmpSwept)
 	}
 	r := *retries
 	if r == 0 {
@@ -52,7 +64,17 @@ func runServe(args []string) error {
 	}
 	defer svc.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Slowloris defense: a client cannot hold a connection open by
+		// trickling header or body bytes. Handler time (long-polling POST
+		// /runs with wait=true) is not under ReadTimeout, which only covers
+		// reading the request.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -64,9 +86,15 @@ func runServe(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Println("\nbandsim serve: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Printf("\nbandsim serve: draining (deadline %s)\n", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Drain the executor first — running jobs finish, queued jobs
+		// cancel, submissions 503 — then stop the HTTP listener so waiting
+		// clients get their terminal job states.
+		if err := svc.Shutdown(shutCtx); err != nil {
+			fmt.Printf("bandsim serve: drain deadline hit, running jobs cancelled\n")
+		}
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}

@@ -1,0 +1,244 @@
+// Package fault is a deterministic fault-injection framework for chaos
+// testing the serve path (run store, sweep executor, HTTP API).
+//
+// A Plan is a set of rules attached to named injection points — e.g.
+// "store.write" or "service.runner" — each describing a fault kind (error,
+// panic, slow, partial-write) and when it fires. Decisions are a pure
+// function of (plan seed, point name, hit index), computed with
+// internal/xrand: the same plan replayed against the same workload injects
+// the same faults at the same hits regardless of goroutine interleaving, so
+// a chaos run that found a bug is reproducible from its seed alone.
+//
+// Production code threads an optional *Plan through its seams (a nil plan
+// injects nothing and costs one nil check per point). The filesystem seam
+// for internal/runstore lives in fs.go.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"parbw/internal/xrand"
+)
+
+// Kind is a fault category.
+type Kind string
+
+// Fault kinds. PartialWrite is only meaningful at filesystem write points
+// (see InjectFS); elsewhere it behaves like Error.
+const (
+	Error        Kind = "error"
+	Panic        Kind = "panic"
+	Slow         Kind = "slow"
+	PartialWrite Kind = "partial-write"
+)
+
+// ErrInjected is the default error returned by Error and PartialWrite
+// faults.
+var ErrInjected = errors.New("fault: injected error")
+
+// DefaultDelay is the sleep applied by Slow faults when the rule does not
+// set one.
+const DefaultDelay = 10 * time.Millisecond
+
+// Rule arms one injection point with one fault kind. Rules on the same
+// point are evaluated in the order given to NewPlan; the first that fires
+// wins the hit.
+type Rule struct {
+	Point string // injection point name, e.g. "store.write"
+	Kind  Kind
+	Prob  float64       // per-hit firing probability; <= 0 means always
+	After int           // skip the first After hits of the point
+	Count int           // fire at most Count times; <= 0 means unlimited
+	Delay time.Duration // Slow only; 0 selects DefaultDelay
+	Err   error         // Error/PartialWrite; nil selects ErrInjected
+}
+
+// Injection is the decision for one hit of a point.
+type Injection struct {
+	Kind  Kind
+	Err   error
+	Delay time.Duration
+}
+
+// Event records one fired injection, for test assertions.
+type Event struct {
+	Point string
+	Kind  Kind
+	Hit   int // 0-based hit index at the point
+}
+
+type ruleState struct {
+	rule  Rule
+	fired int
+}
+
+type pointState struct {
+	hits  int
+	rules []*ruleState
+}
+
+// Plan is a seeded set of injection rules. All methods are safe for
+// concurrent use, and every method on a nil *Plan reports "no fault", so
+// production code can hold a possibly-nil plan without guarding call sites.
+type Plan struct {
+	seed uint64
+
+	mu     sync.Mutex
+	points map[string]*pointState
+	log    []Event
+}
+
+// NewPlan builds a plan from seed and rules.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	p := &Plan{seed: seed, points: map[string]*pointState{}}
+	for _, r := range rules {
+		ps := p.points[r.Point]
+		if ps == nil {
+			ps = &pointState{}
+			p.points[r.Point] = ps
+		}
+		ps.rules = append(ps.rules, &ruleState{rule: r})
+	}
+	return p
+}
+
+// pointHash folds a point name into the stream id used to split the plan's
+// random source, so distinct points draw from independent streams.
+func pointHash(point string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(point))
+	return h.Sum64()
+}
+
+// At records one hit of point and returns the injection to apply, or nil.
+// The decision depends only on (seed, point, hit index) and the rule list,
+// never on wall-clock time or goroutine scheduling.
+func (p *Plan) At(point string) *Injection {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := p.points[point]
+	if ps == nil {
+		return nil
+	}
+	hit := ps.hits
+	ps.hits++
+	for _, rs := range ps.rules {
+		r := rs.rule
+		if hit < r.After {
+			continue
+		}
+		if r.Count > 0 && rs.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 {
+			// One independent draw per (point, hit): immune to call
+			// interleaving across goroutines.
+			src := xrand.New(p.seed).Split(pointHash(point)).Split(uint64(hit))
+			if src.Float64() >= r.Prob {
+				continue
+			}
+		}
+		rs.fired++
+		p.log = append(p.log, Event{Point: point, Kind: r.Kind, Hit: hit})
+		inj := &Injection{Kind: r.Kind, Err: r.Err, Delay: r.Delay}
+		if inj.Err == nil {
+			inj.Err = ErrInjected
+		}
+		if inj.Delay <= 0 {
+			inj.Delay = DefaultDelay
+		}
+		return inj
+	}
+	return nil
+}
+
+// Fire records a hit of point and applies the decided fault in place:
+// Panic panics, Slow sleeps (bounded by ctx) and returns nil, Error and
+// PartialWrite return the rule's error. A nil ctx is treated as
+// context.Background().
+func (p *Plan) Fire(ctx context.Context, point string) error {
+	inj := p.At(point)
+	if inj == nil {
+		return nil
+	}
+	switch inj.Kind {
+	case Panic:
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	case Slow:
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		t := time.NewTimer(inj.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		return nil
+	default:
+		return inj.Err
+	}
+}
+
+// Events returns a copy of every fired injection, in firing order.
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.log...)
+}
+
+// Fired returns how many injections fired at point.
+func (p *Plan) Fired(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.log {
+		if e.Point == point {
+			n++
+		}
+	}
+	return n
+}
+
+// Hits returns how many times point was reached (fired or not).
+func (p *Plan) Hits(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ps := p.points[point]; ps != nil {
+		return ps.hits
+	}
+	return 0
+}
+
+// Points returns the armed point names, sorted.
+func (p *Plan) Points() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.points))
+	for name := range p.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,255 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsNoFault(t *testing.T) {
+	var p *Plan
+	if inj := p.At("x"); inj != nil {
+		t.Fatalf("nil plan injected %+v", inj)
+	}
+	if err := p.Fire(nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Events() != nil || p.Fired("x") != 0 || p.Hits("x") != 0 || p.Points() != nil {
+		t.Fatal("nil plan reported activity")
+	}
+}
+
+func TestAlwaysRuleFiresEveryHit(t *testing.T) {
+	p := NewPlan(1, Rule{Point: "a", Kind: Error})
+	for i := 0; i < 5; i++ {
+		inj := p.At("a")
+		if inj == nil || inj.Kind != Error || !errors.Is(inj.Err, ErrInjected) {
+			t.Fatalf("hit %d: %+v", i, inj)
+		}
+	}
+	if p.Fired("a") != 5 || p.Hits("a") != 5 {
+		t.Fatalf("fired=%d hits=%d", p.Fired("a"), p.Hits("a"))
+	}
+	if p.At("unarmed") != nil {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+func TestAfterAndCountWindows(t *testing.T) {
+	p := NewPlan(1, Rule{Point: "a", Kind: Error, After: 2, Count: 3})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if p.At("a") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+// The core reproducibility property: the same seed yields the same firing
+// pattern; a different seed yields (with these parameters) a different one.
+func TestProbabilisticRuleDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed uint64) string {
+		p := NewPlan(seed, Rule{Point: "a", Kind: Error, Prob: 0.5})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if p.At("a") != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a1, a2 := pattern(42), pattern(42)
+	if a1 != a2 {
+		t.Fatalf("same seed, different patterns:\n%s\n%s", a1, a2)
+	}
+	if ones := strings.Count(a1, "1"); ones < 16 || ones > 48 {
+		t.Fatalf("p=0.5 fired %d/64 times", ones)
+	}
+	if b := pattern(43); b == a1 {
+		t.Fatal("seeds 42 and 43 produced identical 64-hit patterns")
+	}
+}
+
+func TestDistinctPointsDrawIndependently(t *testing.T) {
+	p := NewPlan(7,
+		Rule{Point: "a", Kind: Error, Prob: 0.5},
+		Rule{Point: "b", Kind: Error, Prob: 0.5},
+	)
+	same := 0
+	for i := 0; i < 64; i++ {
+		fa := p.At("a") != nil
+		fb := p.At("b") != nil
+		if fa == fb {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("points a and b fired in lockstep; streams are correlated")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	p := NewPlan(1,
+		Rule{Point: "a", Kind: Slow, Count: 1, Delay: time.Nanosecond},
+		Rule{Point: "a", Kind: Error},
+	)
+	if inj := p.At("a"); inj == nil || inj.Kind != Slow {
+		t.Fatalf("first hit %+v, want slow", inj)
+	}
+	if inj := p.At("a"); inj == nil || inj.Kind != Error {
+		t.Fatalf("second hit %+v, want error (slow exhausted)", inj)
+	}
+	evs := p.Events()
+	if len(evs) != 2 || evs[0].Kind != Slow || evs[1].Kind != Error || evs[1].Hit != 1 {
+		t.Fatalf("events %+v", evs)
+	}
+}
+
+func TestFireAppliesKinds(t *testing.T) {
+	custom := errors.New("disk on fire")
+	p := NewPlan(1,
+		Rule{Point: "err", Kind: Error, Err: custom},
+		Rule{Point: "slow", Kind: Slow, Delay: time.Millisecond},
+		Rule{Point: "boom", Kind: Panic},
+	)
+	if err := p.Fire(nil, "err"); !errors.Is(err, custom) {
+		t.Fatalf("Fire(err) = %v", err)
+	}
+	start := time.Now()
+	if err := p.Fire(context.Background(), "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("slow fault did not sleep")
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("panic fault did not panic")
+			}
+		}()
+		p.Fire(nil, "boom")
+	}()
+}
+
+func TestFireSlowRespectsContext(t *testing.T) {
+	p := NewPlan(1, Rule{Point: "slow", Kind: Slow, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.Fire(ctx, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled context did not cut the sleep short")
+	}
+}
+
+func writeThrough(t *testing.T, fsys FS, dir, name string, data []byte) error {
+	t.Helper()
+	f, err := fsys.CreateTemp(dir, ".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(f.Name(), filepath.Join(dir, name))
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeThrough(t, OS, sub, "x.json", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(filepath.Join(sub, "x.json"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	ents, err := OS.ReadDir(sub)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir %v, %v", ents, err)
+	}
+	if err := OS.Remove(filepath.Join(sub, "x.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectFSReadAndRenameErrors(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(1,
+		Rule{Point: "t.read", Kind: Error, Count: 1},
+		Rule{Point: "t.rename", Kind: Error, Count: 1},
+	)
+	fsys := InjectFS(OS, plan, "t.")
+
+	if err := writeThrough(t, fsys, dir, "a.json", []byte("A")); err == nil {
+		t.Fatal("rename fault not injected")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename error %v not ErrInjected", err)
+	}
+	// The fault consumed its Count; the next write succeeds.
+	if err := writeThrough(t, fsys, dir, "a.json", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.ReadFile(filepath.Join(dir, "a.json")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error %v, want injected", err)
+	}
+	var perr *fs.PathError
+	_, err := fsys.ReadFile(filepath.Join(dir, "missing.json"))
+	if !errors.As(err, &perr) && !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("clean miss after fault exhausted: %v", err)
+	}
+}
+
+func TestInjectFSPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(1, Rule{Point: "t.write", Kind: PartialWrite, Count: 1})
+	fsys := InjectFS(OS, plan, "t.")
+
+	f, err := fsys.CreateTemp(dir, ".x.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("wrote %d bytes, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	// The torn bytes really landed in the temp file — the caller is
+	// responsible for cleaning it up, which is exactly what runstore's
+	// tmp-sweep exists for.
+	got, err := os.ReadFile(f.Name())
+	if err != nil || string(got) != "01234" {
+		t.Fatalf("temp holds %q, %v", got, err)
+	}
+}

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"io/fs"
+	"os"
+	"time"
+)
+
+// File is the write handle produced by FS.CreateTemp — the subset of
+// *os.File the run store needs.
+type File interface {
+	Write(p []byte) (int, error)
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem seam threaded through internal/runstore. The OS
+// variable is the real implementation; InjectFS wraps any FS with a fault
+// plan. Defining the seam here lets chaos tests and production share one
+// interface without runstore knowing about injection.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OS is the passthrough FS backed by package os.
+var OS FS = osFS{}
+
+// Injection points used by InjectFS, relative to the wrapper's prefix.
+const (
+	FSRead    = "read"    // ReadFile
+	FSWrite   = "write"   // File.Write on a CreateTemp handle
+	FSCreate  = "create"  // CreateTemp
+	FSRename  = "rename"  // Rename
+	FSRemove  = "remove"  // Remove
+	FSMkdir   = "mkdir"   // MkdirAll
+	FSReadDir = "readdir" // ReadDir
+)
+
+// InjectFS wraps base so that plan rules at "<prefix><op>" (e.g.
+// "store.fs.write" with prefix "store.fs.") inject faults into the matching
+// operations. An Error rule fails the call outright; a PartialWrite rule at
+// the write point writes only the first half of the buffer into base before
+// failing, modeling a torn write; Slow sleeps before the call proceeds.
+func InjectFS(base FS, plan *Plan, prefix string) FS {
+	return &injectFS{base: base, plan: plan, prefix: prefix}
+}
+
+type injectFS struct {
+	base   FS
+	plan   *Plan
+	prefix string
+}
+
+// op fires non-write faults for one operation: Error/PartialWrite fail the
+// call, Slow sleeps, Panic panics.
+func (f *injectFS) op(name string) error {
+	return f.plan.Fire(nil, f.prefix+name)
+}
+
+func (f *injectFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.op(FSMkdir); err != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *injectFS) ReadFile(name string) ([]byte, error) {
+	if err := f.op(FSRead); err != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *injectFS) Rename(oldpath, newpath string) error {
+	if err := f.op(FSRename); err != nil {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: err}
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *injectFS) Remove(name string) error {
+	if err := f.op(FSRemove); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.base.Remove(name)
+}
+
+func (f *injectFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.op(FSReadDir); err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *injectFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.op(FSCreate); err != nil {
+		return nil, &fs.PathError{Op: "create", Path: dir, Err: err}
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, fs: f}, nil
+}
+
+type injectFile struct {
+	File
+	fs *injectFS
+}
+
+func (w *injectFile) Write(p []byte) (int, error) {
+	inj := w.fs.plan.At(w.fs.prefix + FSWrite)
+	if inj == nil {
+		return w.File.Write(p)
+	}
+	switch inj.Kind {
+	case PartialWrite:
+		// A torn write: half the buffer lands, then the device "fails".
+		n, err := w.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, inj.Err
+	case Slow:
+		time.Sleep(inj.Delay)
+		return w.File.Write(p)
+	case Panic:
+		panic("fault: injected panic at " + w.fs.prefix + FSWrite)
+	default:
+		return 0, inj.Err
+	}
+}

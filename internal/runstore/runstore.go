@@ -9,24 +9,36 @@
 // repeated runs.
 //
 // Layout: one file per run, <dir>/<first two key hex chars>/<key>.json,
-// written atomically (temp file + rename). A bounded in-memory LRU layer
-// fronts the disk so hot keys — the "serve the same sweep again" case — are
-// returned without touching the filesystem. Hit/miss counters are exported
-// for the service's /statsz endpoint.
+// written atomically (temp file + rename) through a filesystem seam
+// (fault.FS) so chaos tests can inject disk faults. Every file written by
+// this version carries a CRC32 footer line; reads verify it and legacy
+// footer-less files are verified by decoding instead, so entries written
+// before the footer existed still read back byte-identical. A file that
+// fails verification is moved to <dir>/quarantine/ and reported as a miss —
+// a corrupt entry costs one recompute, never a wedged key. Orphaned temp
+// files from torn writes are swept on Open and by Scrub (scrub.go).
+//
+// A bounded in-memory LRU layer fronts the disk so hot keys — the "serve
+// the same sweep again" case — are returned without touching the
+// filesystem. Hit/miss/quarantine counters are exported for the service's
+// /statsz endpoint.
 package runstore
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"parbw/internal/fault"
 	"parbw/internal/result"
 )
 
@@ -66,15 +78,22 @@ func ValidKey(s string) bool {
 	return true
 }
 
+// QuarantineDir is the subdirectory (under the store root) that corrupt
+// entries are moved into.
+const QuarantineDir = "quarantine"
+
 // Stats are the store's counters since Open. Hits = MemHits + DiskHits.
 type Stats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	MemHits   uint64 `json:"mem_hits"`
-	DiskHits  uint64 `json:"disk_hits"`
-	Puts      uint64 `json:"puts"`
-	Evictions uint64 `json:"evictions"`
-	MemKeys   int    `json:"mem_keys"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	MemHits     uint64 `json:"mem_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Puts        uint64 `json:"puts"`
+	Deletes     uint64 `json:"deletes"`
+	Evictions   uint64 `json:"evictions"`
+	Quarantined uint64 `json:"quarantined"`
+	ReadErrors  uint64 `json:"read_errors"`
+	MemKeys     int    `json:"mem_keys"`
 }
 
 type memEntry struct {
@@ -87,6 +106,7 @@ type memEntry struct {
 type Store struct {
 	dir    string
 	maxMem int
+	fs     fault.FS
 
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
@@ -98,24 +118,40 @@ type Store struct {
 // maxMem <= 0.
 const DefaultMaxMem = 256
 
-// Open creates (if needed) and opens a store rooted at dir. maxMem bounds
-// the number of results kept in memory; <= 0 selects DefaultMaxMem.
+// Open creates (if needed) and opens a store rooted at dir, backed by the
+// real filesystem. maxMem bounds the number of results kept in memory;
+// <= 0 selects DefaultMaxMem. Orphaned temp files left by torn writes are
+// swept before the store is returned.
 func Open(dir string, maxMem int) (*Store, error) {
+	return OpenFS(dir, maxMem, fault.OS)
+}
+
+// OpenFS is Open over an explicit filesystem seam; chaos tests pass a
+// fault.InjectFS to exercise disk-failure paths.
+func OpenFS(dir string, maxMem int, fsys fault.FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("runstore: empty dir")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runstore: %w", err)
 	}
 	if maxMem <= 0 {
 		maxMem = DefaultMaxMem
 	}
-	return &Store{
+	s := &Store{
 		dir:    dir,
 		maxMem: maxMem,
+		fs:     fsys,
 		ll:     list.New(),
 		mem:    map[string]*list.Element{},
-	}, nil
+	}
+	// Crash consistency: a process killed between CreateTemp and Rename
+	// leaves a .tmp file behind; sweep them so they cannot accumulate.
+	s.sweepTmp()
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -125,9 +161,62 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
+// The integrity footer: "\n#crc32 " + 8 lowercase hex digits + "\n",
+// appended after the canonical JSON payload. Canonical JSON is a single
+// line, so the footer is unambiguous; files without one are legacy entries.
+const (
+	footerPrefix = "\n#crc32 "
+	footerLen    = len(footerPrefix) + 8 + 1
+)
+
+func appendFooter(data []byte) []byte {
+	out := make([]byte, 0, len(data)+footerLen)
+	out = append(out, data...)
+	out = append(out, fmt.Sprintf("%s%08x\n", footerPrefix, crc32.ChecksumIEEE(data))...)
+	return out
+}
+
+// splitFooter splits a stored file into payload and footer state.
+// hasFooter reports whether an integrity footer is present; ok whether its
+// checksum matches the payload.
+func splitFooter(data []byte) (payload []byte, hasFooter, ok bool) {
+	if len(data) < footerLen || data[len(data)-1] != '\n' {
+		return data, false, false
+	}
+	foot := data[len(data)-footerLen:]
+	if !bytes.HasPrefix(foot, []byte(footerPrefix)) {
+		return data, false, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(foot[len(footerPrefix):footerLen-1]), "%08x", &sum); err != nil {
+		return data, false, false
+	}
+	payload = data[:len(data)-footerLen]
+	return payload, true, crc32.ChecksumIEEE(payload) == sum
+}
+
+// verify checks one stored file and returns its payload (the exact bytes
+// Put was given). Footer present ⇒ CRC check; footer absent ⇒ legacy entry,
+// verified by decoding.
+func verify(data []byte) ([]byte, error) {
+	payload, hasFooter, ok := splitFooter(data)
+	if hasFooter {
+		if !ok {
+			return nil, errors.New("crc32 footer mismatch")
+		}
+		return payload, nil
+	}
+	if _, err := result.Decode(data); err != nil {
+		return nil, fmt.Errorf("legacy entry does not decode: %w", err)
+	}
+	return data, nil
+}
+
 // GetBytes returns the stored canonical JSON for key, reporting whether it
 // was found. The memory layer is consulted first, then disk (promoting the
-// value into memory on a disk hit).
+// value into memory on a disk hit). A disk entry that fails integrity
+// verification is quarantined and reported as a miss, so the caller
+// recomputes instead of failing forever.
 func (s *Store) GetBytes(key string) ([]byte, bool, error) {
 	if !ValidKey(key) {
 		return nil, false, fmt.Errorf("runstore: invalid key %q", key)
@@ -143,7 +232,7 @@ func (s *Store) GetBytes(key string) ([]byte, bool, error) {
 	}
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(key))
+	data, err := s.fs.ReadFile(s.path(key))
 	if errors.Is(err, os.ErrNotExist) {
 		s.mu.Lock()
 		s.stats.Misses++
@@ -151,14 +240,25 @@ func (s *Store) GetBytes(key string) ([]byte, bool, error) {
 		return nil, false, nil
 	}
 	if err != nil {
+		s.mu.Lock()
+		s.stats.ReadErrors++
+		s.mu.Unlock()
 		return nil, false, fmt.Errorf("runstore: read %s: %w", key, err)
+	}
+	payload, verr := verify(data)
+	if verr != nil {
+		s.quarantine(key)
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false, nil
 	}
 	s.mu.Lock()
 	s.stats.Hits++
 	s.stats.DiskHits++
-	s.admit(key, data)
+	s.admit(key, payload)
 	s.mu.Unlock()
-	return data, true, nil
+	return payload, true, nil
 }
 
 // Get is GetBytes followed by a decode into a structured result.
@@ -187,30 +287,32 @@ func (s *Store) Put(key string, r *result.Result) ([]byte, error) {
 	return data, nil
 }
 
-// PutBytes stores pre-encoded canonical JSON under key.
+// PutBytes stores pre-encoded canonical JSON under key. The on-disk file is
+// data plus a CRC32 footer; GetBytes strips the footer, so reads return
+// exactly these bytes.
 func (s *Store) PutBytes(key string, data []byte) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("runstore: invalid key %q", key)
 	}
 	path := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("runstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp*")
+	tmp, err := s.fs.CreateTemp(filepath.Dir(path), "."+key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("runstore: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(appendFooter(data)); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("runstore: write %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("runstore: close %s: %w", key, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("runstore: rename %s: %w", key, err)
 	}
 	s.mu.Lock()
@@ -218,6 +320,30 @@ func (s *Store) PutBytes(key string, data []byte) error {
 	s.admit(key, data)
 	s.mu.Unlock()
 	return nil
+}
+
+// Delete removes key from both the memory layer and disk. Deleting an
+// absent key is not an error.
+func (s *Store) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("runstore: invalid key %q", key)
+	}
+	s.mu.Lock()
+	s.dropMemLocked(key)
+	s.stats.Deletes++
+	s.mu.Unlock()
+	if err := s.fs.Remove(s.path(key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("runstore: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// dropMemLocked evicts key from the memory layer. Caller holds s.mu.
+func (s *Store) dropMemLocked(key string) {
+	if el, ok := s.mem[key]; ok {
+		s.ll.Remove(el)
+		delete(s.mem, key)
+	}
 }
 
 // admit inserts or refreshes key in the memory layer, evicting from the LRU
@@ -246,16 +372,18 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// DiskKeys returns every key currently stored on disk (unsorted).
+// DiskKeys returns every key currently stored on disk (unsorted), skipping
+// the quarantine directory.
 func (s *Store) DiskKeys() ([]string, error) {
 	var keys []string
-	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return err
-		}
-		name := d.Name()
-		if key, found := strings.CutSuffix(name, ".json"); found && ValidKey(key) {
-			keys = append(keys, key)
+	err := s.eachShard(func(shard string, entries []os.DirEntry) error {
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if key, found := strings.CutSuffix(e.Name(), ".json"); found && ValidKey(key) {
+				keys = append(keys, key)
+			}
 		}
 		return nil
 	})
@@ -263,4 +391,31 @@ func (s *Store) DiskKeys() ([]string, error) {
 		return nil, fmt.Errorf("runstore: walk: %w", err)
 	}
 	return keys, nil
+}
+
+// eachShard calls fn for every shard subdirectory (the two-hex-char fan-out
+// dirs) plus the root itself, skipping quarantine. fn receives the shard
+// path and its entries.
+func (s *Store) eachShard(fn func(shard string, entries []os.DirEntry) error) error {
+	top, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	if err := fn(s.dir, top); err != nil {
+		return err
+	}
+	for _, e := range top {
+		if !e.IsDir() || e.Name() == QuarantineDir {
+			continue
+		}
+		shard := filepath.Join(s.dir, e.Name())
+		entries, err := s.fs.ReadDir(shard)
+		if err != nil {
+			return err
+		}
+		if err := fn(shard, entries); err != nil {
+			return err
+		}
+	}
+	return nil
 }

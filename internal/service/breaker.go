@@ -1,0 +1,129 @@
+package service
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"parbw/internal/xrand"
+)
+
+// This file holds the retry-discipline pieces of the hardened executor: the
+// circuit breaker that guards run-store writes, and the deterministic
+// exponential backoff between task attempts. Both echo the paper's thesis —
+// pace injections instead of hammering a collapsing resource (the f_m^u
+// penalty regime): a store that just failed is "overloaded", so the
+// executor backs off or routes around it rather than piling on.
+
+// breaker is a consecutive-failure circuit breaker. Closed: writes flow,
+// and threshold consecutive failures open it. Open: writes are skipped for
+// cooldown. Half-open: after the cooldown one probe write is allowed
+// through at a time — success closes the breaker, failure re-opens it.
+// A threshold <= 0 disables the breaker entirely.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+	opens     uint64
+}
+
+// allow reports whether a write should be attempted now. A true return in
+// the half-open state claims the probe slot; the caller must follow up
+// with success or failure.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.fails >= b.threshold {
+		if !now.Before(b.openUntil) {
+			b.opens++ // closed (or half-open) → open transition
+		}
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// isOpen reports whether writes are currently being skipped.
+func (b *breaker) isOpen(now time.Time) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && now.Before(b.openUntil)
+}
+
+func (b *breaker) openCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// backoffSeed fixes the jitter stream. Jitter must be deterministic (chaos
+// runs replay bit-identically) yet decorrelated across tasks and attempts,
+// so the stream is split by task key and attempt rather than seeded per
+// server.
+const backoffSeed = 0x9e3779b97f4a7c15
+
+// backoffDelay returns the pause before retry `attempt` (attempts are
+// 1-based; the first retry is attempt 2): base·2^(attempt−2) scaled by a
+// deterministic jitter factor in [0.5, 1.5) drawn from (key, attempt), and
+// capped at max. Jitter prevents a failed sweep's tasks from re-hammering
+// a struggling dependency in lockstep — the same collision-collapse the
+// paper's schedulers exist to avoid.
+func backoffDelay(base, max time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 || attempt < 2 {
+		return 0
+	}
+	d := base
+	for i := 2; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	src := xrand.New(backoffSeed).Split(h.Sum64()).Split(uint64(attempt))
+	d = time.Duration(float64(d) * (0.5 + src.Float64()))
+	if d > max {
+		d = max
+	}
+	return d
+}

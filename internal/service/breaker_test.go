@@ -1,0 +1,96 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := breaker{threshold: 2, cooldown: time.Minute}
+	t0 := time.Unix(1000, 0)
+
+	if !b.allow(t0) {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.failure(t0)
+	if !b.allow(t0) || b.isOpen(t0) {
+		t.Fatal("one failure below threshold opened the breaker")
+	}
+	b.failure(t0)
+	if b.allow(t0) || !b.isOpen(t0) {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+	if b.openCount() != 1 {
+		t.Fatalf("opens = %d, want 1", b.openCount())
+	}
+
+	// Half-open after the cooldown: exactly one probe is allowed.
+	t1 := t0.Add(2 * time.Minute)
+	if !b.allow(t1) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.allow(t1) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Probe failure re-opens (a second distinct open).
+	b.failure(t1)
+	if b.allow(t1.Add(time.Second)) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.openCount() != 2 {
+		t.Fatalf("opens = %d, want 2", b.openCount())
+	}
+	// Probe success closes fully.
+	t2 := t1.Add(2 * time.Minute)
+	if !b.allow(t2) {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.success()
+	if !b.allow(t2) || b.isOpen(t2) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := breaker{threshold: -1, cooldown: time.Minute}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		b.failure(now)
+	}
+	if !b.allow(now) || b.isOpen(now) || b.openCount() != 0 {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	key := "deadbeef"
+	for attempt := 2; attempt <= 8; attempt++ {
+		d1 := backoffDelay(base, max, key, attempt)
+		d2 := backoffDelay(base, max, key, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic delay %s vs %s", attempt, d1, d2)
+		}
+		raw := base << (attempt - 2)
+		if raw > max {
+			raw = max
+		}
+		if d1 < raw/2 || d1 > max {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d1, raw/2, max)
+		}
+	}
+	// Exponential shape: the un-capped raw window doubles per attempt, so
+	// the jittered delay at attempt 5 must exceed attempt 2's window.
+	if d := backoffDelay(base, max, key, 5); d <= base+base/2 {
+		t.Fatalf("attempt 5 delay %s not exponentially larger than base", d)
+	}
+	// Distinct keys de-correlate.
+	if backoffDelay(base, max, "aaaa", 3) == backoffDelay(base, max, "bbbb", 3) &&
+		backoffDelay(base, max, "aaaa", 4) == backoffDelay(base, max, "bbbb", 4) {
+		t.Fatal("jitter identical across keys at two attempts")
+	}
+	// No backoff before the first retry, or when disabled.
+	if backoffDelay(base, max, key, 1) != 0 || backoffDelay(-1, max, key, 3) != 0 {
+		t.Fatal("expected zero delay")
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"parbw/internal/engine"
@@ -20,13 +22,19 @@ import (
 //	GET  /runs/{id}     a job by id ("job-000001"), or — when {id} is a
 //	                    64-hex run-store key — the stored canonical result JSON
 //	DELETE /runs/{id}   cancel a job
-//	GET  /healthz       liveness
-//	GET  /statsz        run-store hit/miss counters + executor counters +
-//	                    aggregate engine counters (supersteps simulated,
-//	                    traffic units routed, max slot load, overloads)
+//	GET  /healthz       liveness; add ?ready=1 for the readiness check
+//	GET  /readyz        readiness: store writability + dispatcher liveness
+//	GET  /statsz        run-store hit/miss/quarantine counters + executor
+//	                    counters (shed/degraded/breaker) + aggregate engine
+//	                    counters (supersteps simulated, traffic units routed,
+//	                    max slot load, overloads)
 //
-// All responses are JSON. A stored result served by key is returned byte-
-// for-byte as stored, so repeated fetches are binary-identical.
+// Failure semantics: 400 means the request itself is malformed (bad JSON,
+// unknown experiment, over the task cap) — do not retry unchanged. 503 with
+// a Retry-After header means the service is shedding load (queue full) or
+// draining for shutdown — retry after the hinted delay. A stored result
+// served by key is returned byte-for-byte as stored, so repeated fetches
+// are binary-identical.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
@@ -35,16 +43,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v to w. Encode errors (a client that hung up mid-body,
+// an unencodable value) cannot be reported to the client — the status line
+// is already gone — so they are logged and counted on /statsz instead of
+// being silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("service: encode response: %v", err)
+		s.mu.Lock()
+		s.stats.EncodeErrors++
+		s.mu.Unlock()
+	}
 }
 
 type apiError struct {
@@ -52,8 +70,18 @@ type apiError struct {
 	Suggestions []string `json:"suggestions,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeUnavailable sheds a request: 503 plus a Retry-After hint.
+func (s *Server) writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeError(w, http.StatusServiceUnavailable, format, args...)
 }
 
 type experimentInfo struct {
@@ -68,7 +96,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	for i, e := range all {
 		out[i] = experimentInfo{ID: e.ID, Title: e.Title, Source: e.Source}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
 }
 
 func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
@@ -76,37 +104,43 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	job, err := s.Submit(req)
 	if err != nil {
 		var unknown *UnknownExperimentError
+		var full *QueueFullError
 		switch {
 		case errors.As(err, &unknown):
-			writeJSON(w, http.StatusBadRequest, apiError{
+			s.writeJSON(w, http.StatusBadRequest, apiError{
 				Error:       fmt.Sprintf("unknown experiment %q", unknown.ID),
 				Suggestions: unknown.Suggestions,
 			})
+		case errors.As(err, &full):
+			// Load shedding is not a client error: 503 + Retry-After.
+			s.writeUnavailable(w, full.RetryAfter, "%v", err)
+		case errors.Is(err, ErrDraining):
+			s.writeUnavailable(w, shedRetryAfter, "%v", err)
 		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 		}
 		return
 	}
 	if req.Wait != nil && !*req.Wait {
-		writeJSON(w, http.StatusAccepted, job.View())
+		s.writeJSON(w, http.StatusAccepted, job.View())
 		return
 	}
 	if state := job.Wait(r.Context()); state == "" {
 		// Client went away; the job keeps running and stays fetchable.
-		writeJSON(w, http.StatusAccepted, job.View())
+		s.writeJSON(w, http.StatusAccepted, job.View())
 		return
 	}
-	writeJSON(w, http.StatusOK, job.View())
+	s.writeJSON(w, http.StatusOK, job.View())
 }
 
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
@@ -114,11 +148,11 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	if runstore.ValidKey(id) {
 		data, ok, err := s.opts.Store.GetBytes(id)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		if !ok {
-			writeError(w, http.StatusNotFound, "no stored run with key %s", id)
+			s.writeError(w, http.StatusNotFound, "no stored run with key %s", id)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -127,25 +161,45 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job, ok := s.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", id)
+		s.writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.View())
+	s.writeJSON(w, http.StatusOK, job.View())
 }
 
 func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", id)
+		s.writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
 	job.Cancel()
-	writeJSON(w, http.StatusOK, job.View())
+	s.writeJSON(w, http.StatusOK, job.View())
 }
 
+// handleHealthz is pure liveness — the process is up and serving — unless
+// ?ready=1 asks for the readiness semantics of /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if r.URL.Query().Get("ready") == "1" {
+		s.handleReadyz(w, r)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports whether a job submitted now would be admitted and
+// cacheable: dispatcher alive, not draining, store writable (probed with a
+// real write). Load balancers should route on this, not /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.Ready(); err != nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "not ready",
+			"error":  err.Error(),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 type statsView struct {
@@ -156,7 +210,7 @@ type statsView struct {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsView{
+	s.writeJSON(w, http.StatusOK, statsView{
 		Store:    s.opts.Store.Stats(),
 		Executor: s.Stats(),
 		Engine:   engine.GlobalCounters(),

@@ -4,11 +4,20 @@
 // A job is one request — a set of experiment ids × seeds. The executor fans
 // the tasks of a job out over an internal/workpool pool with a per-job
 // context timeout, prompt cancellation, panic recovery around experiment
-// code, and bounded retries. Every completed task is stored in
-// internal/runstore keyed by (experiment, params, seed, code version), so a
-// repeated request is served from cache without re-simulating — the
-// simulations are deterministic, which makes them the ideal cacheable
-// workload. The HTTP API in http.go exposes the whole thing as
+// code, and bounded retries paced by exponential backoff with deterministic
+// jitter. Every completed task is stored in internal/runstore keyed by
+// (experiment, params, seed, code version), so a repeated request is served
+// from cache without re-simulating — the simulations are deterministic,
+// which makes them the ideal cacheable workload.
+//
+// The serve path is engineered to degrade rather than collapse, mirroring
+// the paper's bandwidth thesis: a full queue sheds load (typed QueueFullError
+// → HTTP 503 + Retry-After) instead of queueing unboundedly, a failing run
+// store trips a circuit breaker and jobs complete compute-without-cache
+// instead of failing, and Shutdown drains — running jobs finish inside a
+// deadline while queued jobs cancel. Chaos tests drive all of it through
+// internal/fault plans threaded via Options.Fault and the run store's
+// filesystem seam. The HTTP API in http.go exposes the whole thing as
 // `bandsim serve`.
 package service
 
@@ -22,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"parbw/internal/fault"
 	"parbw/internal/harness"
 	"parbw/internal/result"
 	"parbw/internal/runstore"
@@ -43,6 +53,20 @@ func DefaultRunner(id string, cfg harness.Config) (*result.Result, error) {
 	return e.Run(io.Discard, cfg), nil
 }
 
+// Injection points the executor fires on the fault plan (Options.Fault).
+const (
+	// PointRunner fires inside the panic-recovery envelope just before the
+	// runner: Error fails the attempt, Panic exercises recovery, Slow
+	// stalls the task.
+	PointRunner = "service.runner"
+	// PointStoreGet fires before the cache lookup; an Error skips the
+	// lookup (counted as a store error) and the task recomputes.
+	PointStoreGet = "service.store.get"
+	// PointStorePut fires before the cache write; an Error counts as a
+	// store-write failure against the circuit breaker.
+	PointStorePut = "service.store.put"
+)
+
 // Options configures a Server. Zero values select the documented defaults.
 type Options struct {
 	Store      *runstore.Store // required
@@ -52,6 +76,20 @@ type Options struct {
 	QueueDepth int             // pending-job bound; <=0 → 64
 	MaxTasks   int             // per-job task bound; <=0 → 4096
 	Runner     Runner          // nil → DefaultRunner
+
+	// Retry discipline. Backoff is the pause before the first retry,
+	// doubling per attempt with deterministic jitter, capped at BackoffMax.
+	Backoff    time.Duration // 0 → 50ms; <0 → no backoff
+	BackoffMax time.Duration // 0 → 2s
+
+	// Circuit breaker around run-store writes: BreakerThreshold consecutive
+	// write failures open it for BreakerCooldown, during which tasks
+	// complete without caching (degraded) instead of retrying the store.
+	BreakerThreshold int           // 0 → 3; <0 → breaker disabled
+	BreakerCooldown  time.Duration // 0 → 5s
+
+	// Fault is an optional chaos plan; nil injects nothing.
+	Fault *fault.Plan
 }
 
 // Task and job states.
@@ -72,6 +110,7 @@ type Task struct {
 	Key        string  `json:"key"`
 	Status     string  `json:"status"`
 	Cached     bool    `json:"cached"`
+	Degraded   bool    `json:"degraded,omitempty"` // done, but not cached (store unavailable)
 	Attempts   int     `json:"attempts"`
 	WallMS     float64 `json:"wall_ms"`
 	Error      string  `json:"error,omitempty"`
@@ -108,6 +147,7 @@ type TaskView struct {
 	Key        string          `json:"key"`
 	Status     string          `json:"status"`
 	Cached     bool            `json:"cached"`
+	Degraded   bool            `json:"degraded,omitempty"`
 	Attempts   int             `json:"attempts"`
 	WallMS     float64         `json:"wall_ms"`
 	Error      string          `json:"error,omitempty"`
@@ -152,6 +192,7 @@ func (j *Job) View() JobView {
 			Key:        t.Key,
 			Status:     t.Status,
 			Cached:     t.Cached,
+			Degraded:   t.Degraded,
 			Attempts:   t.Attempts,
 			WallMS:     t.WallMS,
 			Error:      t.Error,
@@ -183,44 +224,61 @@ func (j *Job) Wait(ctx context.Context) string {
 	}
 }
 
+func terminal(state string) bool {
+	return state == StatusDone || state == StatusFailed || state == StatusCancelled
+}
+
 // Stats are the server's lifetime counters, served by /statsz.
 type Stats struct {
 	JobsAccepted  uint64 `json:"jobs_accepted"`
+	JobsShed      uint64 `json:"jobs_shed"` // rejected: queue full or draining
 	JobsDone      uint64 `json:"jobs_done"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCancelled uint64 `json:"jobs_cancelled"`
 	TasksRun      uint64 `json:"tasks_run"`
 	TasksCached   uint64 `json:"tasks_cached"`
+	TasksDegraded uint64 `json:"tasks_degraded"` // completed without a cache write
 	TaskRetries   uint64 `json:"task_retries"`
 	TaskPanics    uint64 `json:"task_panics"`
+	StoreErrors   uint64 `json:"store_errors"` // store read/write failures observed
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerOpen   bool   `json:"breaker_open"`
+	EncodeErrors  uint64 `json:"http_encode_errors"`
+	Draining      bool   `json:"draining"`
 	QueueLen      int    `json:"queue_len"`
 	Workers       int    `json:"workers"`
 }
 
 // Server owns the job queue, the executor, and the run store.
 type Server struct {
-	opts   Options
-	pool   *workpool.Pool
-	runner Runner
+	opts    Options
+	pool    *workpool.Pool
+	runner  Runner
+	fault   *fault.Plan
+	breaker breaker
 
-	baseCtx context.Context
-	cancel  context.CancelFunc
-	queue   chan *Job
-	wg      sync.WaitGroup
+	baseCtx        context.Context
+	cancel         context.CancelFunc
+	queue          chan *Job
+	wg             sync.WaitGroup
+	drainOnce      sync.Once
+	drainCh        chan struct{}
+	dispatcherDone chan struct{}
 
-	mu     sync.Mutex
-	closed bool
-	seq    int
-	jobs   map[string]*Job
-	order  []string // job ids, oldest first, for pruning
-	stats  Stats
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	seq      int
+	jobs     map[string]*Job
+	order    []string // job ids, oldest first, for pruning
+	stats    Stats
 }
 
 // maxRetainedJobs bounds the in-memory job index; the oldest finished jobs
 // are pruned past it (their results stay in the run store).
 const maxRetainedJobs = 512
 
-// New starts a server: the dispatcher goroutine runs until Close.
+// New starts a server: the dispatcher goroutine runs until Close/Shutdown.
 func New(opts Options) (*Server, error) {
 	if opts.Store == nil {
 		return nil, errors.New("service: Options.Store is required")
@@ -242,29 +300,117 @@ func New(opts Options) (*Server, error) {
 	if opts.Runner == nil {
 		opts.Runner = DefaultRunner
 	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 2 * time.Second
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:    opts,
-		pool:    workpool.New(opts.Workers),
-		runner:  opts.Runner,
-		baseCtx: ctx,
-		cancel:  cancel,
-		queue:   make(chan *Job, opts.QueueDepth),
-		jobs:    map[string]*Job{},
+		opts:           opts,
+		pool:           workpool.New(opts.Workers),
+		runner:         opts.Runner,
+		fault:          opts.Fault,
+		breaker:        breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+		baseCtx:        ctx,
+		cancel:         cancel,
+		queue:          make(chan *Job, opts.QueueDepth),
+		drainCh:        make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+		jobs:           map[string]*Job{},
 	}
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
 }
 
-// Close cancels every running job, stops the dispatcher, and waits for it to
-// drain. Safe to call once.
+// Close is the hard stop: it cancels every running job, stops the
+// dispatcher, and waits for it to drain. Idempotent, and safe after
+// Shutdown.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+}
+
+// Shutdown is the graceful drain: new submissions are rejected, jobs still
+// queued are cancelled, and jobs already running are given until ctx's
+// deadline to finish before being hard-cancelled. It returns nil on a clean
+// drain, or ctx's error if the deadline forced a hard cancel.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.draining = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	if alreadyClosed {
+		s.wg.Wait()
+		return nil
+	}
+
+	// Queued jobs cancel promptly; the dispatcher skips them when it gets
+	// there. Running jobs are left alone.
+	for _, j := range jobs {
+		j.mu.Lock()
+		queued := j.state == StatusQueued
+		j.mu.Unlock()
+		if queued {
+			s.finishJob(j, StatusCancelled)
+		}
+	}
+	s.drainOnce.Do(func() { close(s.drainCh) })
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // deadline passed: hard-cancel what is still running
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	return err
+}
+
+// Ready reports whether the server can usefully accept a job right now:
+// the dispatcher is alive, the server is not draining or closed, and the
+// run store can persist data (probed with a real write).
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	closed, draining := s.closed, s.draining
+	s.mu.Unlock()
+	if closed {
+		return errors.New("service: server is shut down")
+	}
+	if draining {
+		return ErrDraining
+	}
+	select {
+	case <-s.dispatcherDone:
+		return errors.New("service: dispatcher not running")
+	default:
+	}
+	return s.opts.Store.CheckWritable()
 }
 
 // Store exposes the underlying run store (for stats and direct key reads).
@@ -299,8 +445,28 @@ func (e *UnknownExperimentError) Error() string {
 	return fmt.Sprintf("unknown experiment %q (closest: %v)", e.ID, e.Suggestions)
 }
 
+// QueueFullError is returned by Submit when the pending-job queue is at
+// capacity. It is load shedding, not failure: the request was never
+// admitted, and RetryAfter tells the client when trying again is sensible.
+// The HTTP layer maps it to 503 + Retry-After.
+type QueueFullError struct {
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: queue full (depth %d), retry after %s", e.Depth, e.RetryAfter)
+}
+
+// ErrDraining is returned by Submit once Shutdown has begun.
+var ErrDraining = errors.New("service: server draining")
+
+// shedRetryAfter is the Retry-After hint attached to shed requests.
+const shedRetryAfter = time.Second
+
 // Submit validates req, builds the job, and enqueues it. It returns
-// immediately; use Job.Wait or Job.Done for completion.
+// immediately; use Job.Wait or Job.Done for completion. When the queue is
+// full the request is shed with a QueueFullError instead of blocking.
 func (s *Server) Submit(req RunRequest) (*Job, error) {
 	ids, err := expandExperiments(req.Experiments)
 	if err != nil {
@@ -353,6 +519,22 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 		jobCancel()
 		return nil, errors.New("service: server is shut down")
 	}
+	if s.draining {
+		s.stats.JobsShed++
+		s.mu.Unlock()
+		jobCancel()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+	default:
+		// Admission control: shed instead of admitting work we cannot
+		// start. The job is never registered, so nothing leaks.
+		s.stats.JobsShed++
+		s.mu.Unlock()
+		jobCancel()
+		return nil, &QueueFullError{Depth: s.opts.QueueDepth, RetryAfter: shedRetryAfter}
+	}
 	s.seq++
 	job.id = fmt.Sprintf("job-%06d", s.seq)
 	s.jobs[job.id] = job
@@ -360,14 +542,7 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 	s.stats.JobsAccepted++
 	s.pruneLocked()
 	s.mu.Unlock()
-
-	select {
-	case s.queue <- job:
-		return job, nil
-	default:
-		s.finishJob(job, StatusFailed)
-		return nil, fmt.Errorf("service: queue full (depth %d)", s.opts.QueueDepth)
-	}
+	return job, nil
 }
 
 func expandExperiments(ids []string) ([]string, error) {
@@ -429,6 +604,9 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.QueueLen = len(s.queue)
 	st.Workers = s.pool.Workers()
+	st.Draining = s.draining
+	st.BreakerOpen = s.breaker.isOpen(time.Now())
+	st.BreakerOpens = s.breaker.openCount()
 	return st
 }
 
@@ -444,9 +622,9 @@ func (s *Server) pruneLocked() {
 				break
 			}
 			j.mu.Lock()
-			terminal := j.state == StatusDone || j.state == StatusFailed || j.state == StatusCancelled
+			done := terminal(j.state)
 			j.mu.Unlock()
-			if terminal {
+			if done {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				dropped = true
@@ -460,21 +638,30 @@ func (s *Server) pruneLocked() {
 }
 
 // dispatch is the queue consumer: jobs execute one at a time in submission
-// order; each job's tasks fan out over the workpool.
+// order; each job's tasks fan out over the workpool. A drain request lets
+// the running job finish, then cancels whatever is still queued; a hard
+// cancel (Close) additionally cancels the running job via baseCtx.
 func (s *Server) dispatch() {
 	defer s.wg.Done()
+	defer close(s.dispatcherDone)
+	drainQueued := func(state string) {
+		for {
+			select {
+			case job := <-s.queue:
+				s.finishJob(job, state)
+			default:
+				return
+			}
+		}
+	}
 	for {
 		select {
 		case <-s.baseCtx.Done():
-			// Drain anything still queued as cancelled.
-			for {
-				select {
-				case job := <-s.queue:
-					s.finishJob(job, StatusCancelled)
-				default:
-					return
-				}
-			}
+			drainQueued(StatusCancelled)
+			return
+		case <-s.drainCh:
+			drainQueued(StatusCancelled)
+			return
 		case job := <-s.queue:
 			s.runJob(job)
 		}
@@ -482,14 +669,19 @@ func (s *Server) dispatch() {
 }
 
 func (s *Server) runJob(job *Job) {
-	ctx, cancelTimeout := context.WithTimeout(job.runCtx, job.timeout)
-	defer cancelTimeout()
-
 	job.mu.Lock()
+	if terminal(job.state) {
+		// Cancelled while queued (drain or DELETE): nothing to run.
+		job.mu.Unlock()
+		return
+	}
 	job.state = StatusRunning
 	job.started = time.Now()
 	tasks := job.tasks
 	job.mu.Unlock()
+
+	ctx, cancelTimeout := context.WithTimeout(job.runCtx, job.timeout)
+	defer cancelTimeout()
 
 	s.pool.ForCtx(ctx, len(tasks), func(i int) {
 		s.runTask(ctx, job, tasks[i])
@@ -528,7 +720,7 @@ func contextReason(ctx context.Context) string {
 
 func (s *Server) finishJob(job *Job, state string) {
 	job.mu.Lock()
-	alreadyDone := job.state == StatusDone || job.state == StatusFailed || job.state == StatusCancelled
+	alreadyDone := terminal(job.state)
 	if !alreadyDone {
 		job.state = state
 		job.finished = time.Now()
@@ -551,9 +743,30 @@ func (s *Server) finishJob(job *Job, state string) {
 	s.mu.Unlock()
 }
 
+func (s *Server) countStoreError() {
+	s.mu.Lock()
+	s.stats.StoreErrors++
+	s.mu.Unlock()
+}
+
+// sleepCtx pauses for d, cut short if ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // runTask executes one task: run-store lookup first, then the experiment
-// with panic recovery and bounded retries. Task fields are only touched
-// under job.mu so HTTP snapshots never race the executor.
+// with panic recovery and bounded retries paced by backoffDelay. Task
+// fields are only touched under job.mu so HTTP snapshots never race the
+// executor. Store failures degrade (recompute, or complete uncached); they
+// never fail a task whose experiment ran successfully.
 func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 	setTask := func(fn func()) {
 		job.mu.Lock()
@@ -562,7 +775,12 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 	}
 	setTask(func() { t.Status = StatusRunning })
 
-	if data, ok, err := s.opts.Store.GetBytes(t.Key); err == nil && ok {
+	if ferr := s.fault.Fire(ctx, PointStoreGet); ferr != nil {
+		s.countStoreError()
+	} else if data, ok, err := s.opts.Store.GetBytes(t.Key); err != nil {
+		// A store that cannot read is a cache miss, not a task failure.
+		s.countStoreError()
+	} else if ok {
 		setTask(func() {
 			t.Cached = true
 			t.Result = data
@@ -577,6 +795,12 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 	cfg := harness.Config{Seed: t.Seed, Quick: t.Quick}
 	var lastErr error
 	for attempt := 1; attempt <= 1+s.opts.Retries; attempt++ {
+		if attempt > 1 {
+			s.mu.Lock()
+			s.stats.TaskRetries++
+			s.mu.Unlock()
+			sleepCtx(ctx, backoffDelay(s.opts.Backoff, s.opts.BackoffMax, t.Key, attempt))
+		}
 		if ctx.Err() != nil {
 			setTask(func() {
 				t.Status = StatusCancelled
@@ -585,31 +809,33 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 			return
 		}
 		setTask(func() { t.Attempts = attempt })
-		if attempt > 1 {
-			s.mu.Lock()
-			s.stats.TaskRetries++
-			s.mu.Unlock()
-		}
 		start := time.Now()
-		res, err := s.safeRun(t.Experiment, cfg)
+		res, err := s.safeRun(ctx, t.Experiment, cfg)
 		wall := time.Since(start)
-		if err == nil {
-			data, perr := s.opts.Store.Put(t.Key, res)
-			if perr != nil {
-				lastErr = perr
-				continue
-			}
-			setTask(func() {
-				t.Result = data
-				t.WallMS = float64(wall.Microseconds()) / 1000
-				t.Status = StatusDone
-			})
-			s.mu.Lock()
-			s.stats.TasksRun++
-			s.mu.Unlock()
-			return
+		if err != nil {
+			lastErr = err
+			continue
 		}
-		lastErr = err
+		data, degraded, err := s.storeResult(ctx, t.Key, res)
+		if err != nil {
+			// Only reachable when the result cannot even be encoded;
+			// retrying the run cannot fix that.
+			lastErr = err
+			break
+		}
+		setTask(func() {
+			t.Result = data
+			t.Degraded = degraded
+			t.WallMS = float64(wall.Microseconds()) / 1000
+			t.Status = StatusDone
+		})
+		s.mu.Lock()
+		s.stats.TasksRun++
+		if degraded {
+			s.stats.TasksDegraded++
+		}
+		s.mu.Unlock()
+		return
 	}
 	setTask(func() {
 		t.Status = StatusFailed
@@ -619,9 +845,36 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 	})
 }
 
+// storeResult persists res under key through the circuit breaker. When the
+// breaker is open, or the write fails, the task degrades to
+// compute-without-cache: the canonical bytes are returned with
+// degraded=true and the job carries on. The returned error is non-nil only
+// when the result cannot be encoded at all.
+func (s *Server) storeResult(ctx context.Context, key string, res *result.Result) (data []byte, degraded bool, err error) {
+	if s.breaker.allow(time.Now()) {
+		werr := s.fault.Fire(ctx, PointStorePut)
+		if werr == nil {
+			data, werr = s.opts.Store.Put(key, res)
+		}
+		if werr == nil {
+			s.breaker.success()
+			return data, false, nil
+		}
+		s.breaker.failure(time.Now())
+		s.countStoreError()
+	}
+	data, err = res.CanonicalJSON()
+	if err != nil {
+		return nil, false, fmt.Errorf("service: encode result: %w", err)
+	}
+	return data, true, nil
+}
+
 // safeRun invokes the runner with panic recovery, converting a panicking
-// experiment into an error the retry loop can handle.
-func (s *Server) safeRun(id string, cfg harness.Config) (res *result.Result, err error) {
+// experiment into an error the retry loop can handle. The PointRunner fault
+// fires inside the recovery envelope, so injected panics exercise the same
+// path as real ones.
+func (s *Server) safeRun(ctx context.Context, id string, cfg harness.Config) (res *result.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.mu.Lock()
@@ -630,5 +883,8 @@ func (s *Server) safeRun(id string, cfg harness.Config) (res *result.Result, err
 			err = fmt.Errorf("experiment %s panicked: %v\n%s", id, p, debug.Stack())
 		}
 	}()
+	if ferr := s.fault.Fire(ctx, PointRunner); ferr != nil {
+		return nil, ferr
+	}
 	return s.runner(id, cfg)
 }
