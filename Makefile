@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-smoke experiments verify export serve clean
+.PHONY: all build vet test race chaos bench bench-baseline bench-tables bench-smoke experiments verify export serve clean
 
 all: build test
 
@@ -29,9 +29,20 @@ chaos:
 	$(GO) test -race -count=1 ./internal/fault ./internal/runstore
 	$(GO) test -race -count=1 -run 'Chaos|Breaker|Backoff|EncodeErrors' ./internal/service
 
+# The fixed hot-path suite via the bench-regression harness: superstep
+# merge per model, the static scheduling sweep, and quick Table 1 runs.
+# Fails when any case regresses >20% ns/op against the checked-in baseline
+# or any model fingerprint drifts (CI runs this with -benchtime 100ms).
+bench:
+	$(GO) run ./cmd/bandsim bench -baseline BENCH_baseline.json -out -
+
+# Regenerate the checked-in baseline (run on a quiet machine).
+bench-baseline:
+	$(GO) run ./cmd/bandsim bench -out BENCH_baseline.json
+
 # One benchmark per paper table/figure; simulated model time reported as
 # custom metrics (simtime-*, sep-x).
-bench:
+bench-tables:
 	$(GO) test -bench=. -benchmem .
 
 # Engine benchmark smoke: one iteration of each machine's superstep-merge

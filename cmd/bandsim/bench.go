@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"parbw/internal/bench"
+)
+
+// runBench implements `bandsim bench`: run the fixed benchmark suite from
+// internal/bench and write the canonical report. With -baseline it also
+// compares against a checked-in report and exits non-zero on regression,
+// which is what the CI bench job runs.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "output path ('-' for stdout; default BENCH_<timestamp>.json)")
+	dry := fs.Bool("dry", false, "skip the timed loops: zero timings, fixed timestamp (determinism check)")
+	baseline := fs.String("baseline", "", "compare against this report and fail on regression")
+	benchtime := fs.String("benchtime", "1s", "per-case measurement budget (testing -benchtime syntax)")
+	tol := fs.Float64("tol", 0.20, "allowed fractional ns/op regression vs -baseline")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: bandsim bench [-out FILE] [-dry] [-baseline FILE] [-benchtime DUR] [-tol FRAC]
+
+Runs the fixed hot-path suite (superstep merge per model, the static
+scheduling sweep, and quick Table 1 experiments) and writes a canonical
+JSON report. Model fingerprints in the report are wall-clock-free, so a
+-dry run is byte-reproducible and -baseline catches both performance
+regressions and model-semantics drift.`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	now := time.Now().UTC()
+	rep, err := bench.Run(bench.Options{
+		Dry:       *dry,
+		BenchTime: *benchtime,
+		Timestamp: now.Format(time.RFC3339),
+	})
+	if err != nil {
+		return err
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+
+	path := *out
+	if path == "" {
+		if *dry {
+			path = "-" // a dry report is for inspection, not archiving
+		} else {
+			path = "BENCH_" + now.Format("20060102T150405Z") + ".json"
+		}
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote %s (%d cases, checksum %s)\n", path, len(rep.Results), rep.ModelChecksum)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		base, err := bench.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		if fails := bench.Compare(base, rep, *tol); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "bench regression:", f)
+			}
+			return fmt.Errorf("%d benchmark check(s) failed against %s", len(fails), *baseline)
+		}
+		fmt.Printf("benchmarks within %.0f%% of %s, model checksum matches\n", *tol*100, *baseline)
+	}
+	return nil
+}

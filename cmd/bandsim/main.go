@@ -79,6 +79,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bandsim:", err)
 			os.Exit(1)
 		}
+	case "bench":
+		if err := runBench(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bandsim:", err)
+			os.Exit(1)
+		}
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "bandsim: run needs experiment ids (or 'all')")
@@ -148,6 +153,8 @@ usage:
                                   machine the experiment drives)
   bandsim serve [serve flags]     HTTP run service: job queue + sweep executor over
                                   a content-addressed run store ('serve -h' for flags)
+  bandsim bench [bench flags]     fixed hot-path benchmark suite; emits a canonical
+                                  BENCH_<timestamp>.json report ('bench -h' for flags)
 
 flags:
 `)

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Two dry runs on the same build must produce byte-identical reports: the
+// timestamp is pinned to "dry", timings are zeroed, and the model
+// fingerprints are deterministic.
+func TestDryRunDeterministic(t *testing.T) {
+	a, err := Run(Options{Dry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Dry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("dry reports differ:\n--- first\n%s\n--- second\n%s", aj, bj)
+	}
+	if a.Timestamp != "dry" {
+		t.Fatalf("dry report timestamp = %q, want \"dry\"", a.Timestamp)
+	}
+	for _, r := range a.Results {
+		if r.NsOp != 0 || r.BOp != 0 || r.AllocsOp != 0 {
+			t.Fatalf("dry report carries timings for %s: %+v", r.Name, r)
+		}
+		if r.Model == "" {
+			t.Fatalf("case %s has an empty model fingerprint", r.Name)
+		}
+	}
+}
+
+// The suite's shape is part of the report contract.
+func TestSuiteCases(t *testing.T) {
+	want := []string{
+		"superstep/bsp", "superstep/qsm", "superstep/pram",
+		"sched/static",
+		"table1/onetoall", "table1/broadcast", "table1/parity",
+	}
+	cases := Suite()
+	if len(cases) != len(want) {
+		t.Fatalf("suite has %d cases, want %d", len(cases), len(want))
+	}
+	for i, c := range cases {
+		if c.Name != want[i] {
+			t.Errorf("case %d = %q, want %q", i, c.Name, want[i])
+		}
+	}
+}
+
+// A marshaled report must round-trip and keep its checksum consistent with
+// its results.
+func TestReportRoundTrip(t *testing.T) {
+	rep, err := Run(Options{Dry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelChecksum != checksum(got.Results) {
+		t.Fatalf("checksum %q does not match results (%q)", got.ModelChecksum, checksum(got.Results))
+	}
+	if _, err := Unmarshal([]byte(`{"schema":"bogus/9"}`)); err == nil {
+		t.Fatal("Unmarshal accepted a wrong schema tag")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "a", NsOp: 1000, Model: "cost=1"},
+		{Name: "b", NsOp: 2000, Model: "cost=2"},
+	}}
+	t.Run("pass within tolerance", func(t *testing.T) {
+		cand := &Report{Results: []Result{
+			{Name: "a", NsOp: 1100, Model: "cost=1"},
+			{Name: "b", NsOp: 1500, Model: "cost=2"},
+		}}
+		if fails := Compare(base, cand, 0.20); len(fails) != 0 {
+			t.Fatalf("unexpected failures: %v", fails)
+		}
+	})
+	t.Run("ns regression", func(t *testing.T) {
+		cand := &Report{Results: []Result{
+			{Name: "a", NsOp: 1300, Model: "cost=1"},
+			{Name: "b", NsOp: 2000, Model: "cost=2"},
+		}}
+		fails := Compare(base, cand, 0.20)
+		if len(fails) != 1 || !strings.Contains(fails[0], "a: ns/op regressed") {
+			t.Fatalf("want one ns/op failure for a, got %v", fails)
+		}
+	})
+	t.Run("model drift", func(t *testing.T) {
+		cand := &Report{Results: []Result{
+			{Name: "a", NsOp: 1000, Model: "cost=1"},
+			{Name: "b", NsOp: 2000, Model: "cost=99"},
+		}}
+		fails := Compare(base, cand, 0.20)
+		if len(fails) != 1 || !strings.Contains(fails[0], "model fingerprint drifted") {
+			t.Fatalf("want one drift failure, got %v", fails)
+		}
+	})
+	t.Run("missing case", func(t *testing.T) {
+		cand := &Report{Results: []Result{{Name: "a", NsOp: 1000, Model: "cost=1"}}}
+		fails := Compare(base, cand, 0.20)
+		if len(fails) != 1 || !strings.Contains(fails[0], "b: case missing") {
+			t.Fatalf("want one missing-case failure, got %v", fails)
+		}
+	})
+	t.Run("dry candidate skips timings", func(t *testing.T) {
+		cand := &Report{Results: []Result{
+			{Name: "a", NsOp: 0, Model: "cost=1"},
+			{Name: "b", NsOp: 0, Model: "cost=2"},
+		}}
+		if fails := Compare(base, cand, 0.20); len(fails) != 0 {
+			t.Fatalf("dry candidate should pass, got %v", fails)
+		}
+	})
+}

@@ -28,6 +28,7 @@ package bsp
 
 import (
 	"fmt"
+	"slices"
 
 	"parbw/internal/engine"
 	"parbw/internal/model"
@@ -73,7 +74,10 @@ type Stats struct {
 	Cost     model.Time // superstep cost under the machine's model
 }
 
-// Config configures a Machine.
+// Config configures a Machine with an explicit model.Cost. It is the
+// low-level construction surface; most callers should build machines from
+// the cross-machine engine.Options instead (see New). Config remains for
+// cost models Options cannot express, such as the self-scheduling BSP(m).
 type Config struct {
 	P    int        // number of simulated processors (>= 1)
 	Cost model.Cost // cost model; must be a BSP kind
@@ -98,7 +102,16 @@ type Machine struct {
 
 	ctxs  []Ctx
 	inbox [][]Msg // inbox[i]: messages delivered to processor i, readable this superstep
-	spare [][]Msg // recycled inbox buffers for the next superstep
+	spare [][]Msg // recycled per-destination views for the next superstep
+
+	// slabs double-buffer the message storage behind the inbox views: each
+	// merge counting-sorts every sent message into one flat slab and points
+	// the per-destination views at disjoint subslices of it. Two slabs give
+	// routed messages the same lifetime the old ragged buffers had — the
+	// inbox of the superstep in flight is never overwritten by the merge
+	// that builds the next one. cur indexes the slab backing inbox.
+	slabs [2]engine.Slab[Msg]
+	cur   int
 
 	// fn is the program of the superstep in flight; body and mergeFn are the
 	// closures handed to the engine core, built once so that Superstep itself
@@ -108,9 +121,28 @@ type Machine struct {
 	mergeFn func() (Stats, engine.StepStats)
 }
 
-// New constructs a Machine. It panics on invalid configuration, since a
-// malformed machine is a programming error in an experiment definition.
-func New(cfg Config) *Machine {
+// New constructs a Machine from either the package-native Config or the
+// cross-machine engine.Options surface (engine.Options selects BSP(m) when
+// M > 0, BSP(g) otherwise; see its docs). The two calls build identical
+// machines:
+//
+//	bsp.New(bsp.Config{P: 64, Cost: model.BSPm(8, 4), Seed: 1})
+//	bsp.New(engine.Options{Procs: 64, M: 8, L: 4, Seed: 1})
+func New[C Config | engine.Options](cfg C) *Machine {
+	if o, ok := any(cfg).(engine.Options); ok {
+		return newMachine(Config{
+			P:        o.Procs,
+			Cost:     o.BSPCost(),
+			Seed:     o.Seed,
+			Workers:  o.Workers,
+			Trace:    o.Trace,
+			Observer: o.Observer,
+		})
+	}
+	return newMachine(any(cfg).(Config))
+}
+
+func newMachine(cfg Config) *Machine {
 	if cfg.Cost.SharedMemory() {
 		panic(fmt.Sprintf("bsp: cost model %v is a QSM kind", cfg.Cost.Kind))
 	}
@@ -234,19 +266,36 @@ func (c *Ctx) SendAt(slot, dst int, msg Msg) {
 	c.sendAt(slot, dst, msg)
 }
 
+// sendAt is the per-message hot path: it normalizes the message and appends
+// it to the processor's schedule. The invalid-destination panic lives in a
+// separate function so sendAt stays within the inlining budget — enqueueing
+// a message is a bounds check plus one 48-byte append.
 func (c *Ctx) sendAt(slot, dst int, msg Msg) {
 	if dst < 0 || dst >= c.m.p {
-		panic(fmt.Sprintf("bsp: proc %d send to invalid dst %d (p=%d)", c.id, dst, c.m.p))
+		c.badDst(dst)
 	}
-	msg.Src = int32(c.id)
-	msg.Dst = int32(dst)
+	n := len(c.sends)
+	if n == cap(c.sends) {
+		c.sends = append(c.sends, send{})
+	} else {
+		c.sends = c.sends[:n+1]
+	}
+	s := &c.sends[n]
+	s.slot = slot
+	s.msg = msg
+	s.msg.Src = int32(c.id)
+	s.msg.Dst = int32(dst)
 	if msg.Len <= 0 {
-		msg.Len = 1
+		s.msg.Len = 1
 	}
-	c.sends = append(c.sends, send{slot: slot, msg: msg})
-	if end := slot + msg.Flits(); end > c.autoSlot {
+	if end := slot + int(s.msg.Len); end > c.autoSlot {
 		c.autoSlot = end
 	}
+}
+
+//go:noinline
+func (c *Ctx) badDst(dst int) {
+	panic(fmt.Sprintf("bsp: proc %d send to invalid dst %d (p=%d)", c.id, dst, c.m.p))
 }
 
 // Superstep executes fn for every processor, then synchronizes: messages are
@@ -259,61 +308,119 @@ func (m *Machine) Superstep(fn func(c *Ctx)) Stats {
 	return st
 }
 
+// insertionSortMax bounds the schedule length handled by the inlined
+// insertion sort; longer schedules (a single processor streaming thousands
+// of flits) fall back to the library sort.
+const insertionSortMax = 32
+
+// parallelRouteMin is the per-superstep message count below which the
+// destination-sharded parallel routing passes are not worth their fan-out
+// overhead (a variable so tests can force either path).
+var parallelRouteMin = 2048
+
 // merge is the BSP merge strategy: it validates injection schedules, builds
-// the per-step histogram, routes messages, and computes the cost.
+// the per-step histogram, counting-sorts messages into the next inbox slab,
+// and computes the cost.
 func (m *Machine) merge() (Stats, engine.StepStats) {
 	var st Stats
 
-	// Sizes first (single pass over processors).
+	// Pass 1, fused: per-processor schedule validation (sort by start slot,
+	// then reject overlapping [slot, slot+len) intervals — the model permits
+	// one flit injection per processor per step) together with the size
+	// accounting and the per-destination message/flit counts the router
+	// needs. After a valid sort the interval ends are monotone, so the
+	// processor's step span is simply the last interval's end. The sort and
+	// the overlap check are inlined on the concrete send type: the generic
+	// closure-based engine.CheckSchedule was the hottest single item in the
+	// pre-rework merge profile.
+	recv := m.core.Ledger()  // flits destined per processor
+	cnt := m.core.Offsets()  // messages destined per processor
 	maxStep := 0
+	total := 0 // messages this superstep
 	for i := range m.ctxs {
 		c := &m.ctxs[i]
 		if c.work > st.W {
 			st.W = c.work
 		}
-		sent := 0
-		for _, s := range c.sends {
-			fl := s.msg.Flits()
-			sent += fl
-			if end := s.slot + fl; end > maxStep {
-				maxStep = end
+		sends := c.sends
+		if n := len(sends); n > 1 {
+			if n <= insertionSortMax {
+				for a := 1; a < n; a++ {
+					for j := a; j > 0 && sends[j].slot < sends[j-1].slot; j-- {
+						sends[j], sends[j-1] = sends[j-1], sends[j]
+					}
+				}
+			} else {
+				slices.SortFunc(sends, func(a, b send) int { return a.slot - b.slot })
 			}
+		}
+		sent := 0
+		prevEnd := -1
+		for k := range sends {
+			s := &sends[k]
+			fl := int(s.msg.Len) // sendAt normalized Len >= 1
+			if s.slot < prevEnd {
+				panic(fmt.Sprintf("bsp: proc %d injects two flits in step %d (model allows one send initiation per step)", i, s.slot))
+			}
+			prevEnd = s.slot + fl
+			sent += fl
+			d := int(s.msg.Dst)
+			recv[d] += fl
+			cnt[d]++
+		}
+		if prevEnd > maxStep {
+			maxStep = prevEnd
 		}
 		if sent > st.HSend {
 			st.HSend = sent
 		}
 		st.N += sent
+		total += len(sends)
 	}
 	st.Steps = maxStep
 
-	// Per-step histogram and per-processor schedule validation. Validation
-	// sorts each processor's (slot, len) intervals and rejects overlaps:
-	// the model permits at most one flit injection per processor per step.
-	// The histogram, receive-ledger and next-inbox buffers are recycled
-	// across supersteps; Recv slices are therefore only valid within their
-	// superstep, as documented.
+	// Bucket layout: exclusive prefix sum over the per-destination counts
+	// turns them into placement cursors, and the per-destination inbox
+	// views are carved out of the flat slab up front. The views are
+	// three-index subslices (cap == len), so a later Deliver append cannot
+	// clobber a neighboring bucket. The slab, histogram, ledger and view
+	// arrays are all recycled across supersteps; Recv slices are therefore
+	// only valid within their superstep, as documented.
 	hist := m.core.Hist(maxStep)
-	recv := m.core.Ledger()
+	slab := m.slabs[1-m.cur].Take(total)
 	next := m.spare
+	acc := 0
 	for d := range next {
-		next[d] = next[d][:0]
+		k := cnt[d]
+		end := acc + k
+		next[d] = slab[acc:end:end]
+		cnt[d] = acc
+		acc = end
 	}
-	for i := range m.ctxs {
-		c := &m.ctxs[i]
-		engine.CheckSchedule(c.sends,
-			func(s send) int { return s.slot },
-			func(s send) int { return s.msg.Flits() },
-			func(slot int) {
-				panic(fmt.Sprintf("bsp: proc %d injects two flits in step %d (model allows one send initiation per step)", i, slot))
-			})
-		for _, s := range c.sends {
-			fl := s.msg.Flits()
-			for f := 0; f < fl; f++ {
-				hist[s.slot+f]++
+
+	// Pass 2: the per-step injection histogram and the counting-sort
+	// placement. Every message's slab position is determined by the
+	// precomputed cursors — (destination, then source processor, then slot
+	// order within the processor) — exactly the delivery order the old
+	// append-per-destination routing produced. Large steps on a
+	// multi-worker machine take the destination-sharded parallel passes
+	// instead; they compute the same positions chunk-locally, so the slab
+	// contents are byte-identical either way.
+	if m.core.Workers() > 1 && total >= parallelRouteMin {
+		m.routeParallel(slab, hist, cnt)
+	} else {
+		for i := range m.ctxs {
+			sends := m.ctxs[i].sends
+			for k := range sends {
+				s := &sends[k]
+				end := s.slot + int(s.msg.Len)
+				for f := s.slot; f < end; f++ {
+					hist[f]++
+				}
+				d := int(s.msg.Dst)
+				slab[cnt[d]] = s.msg
+				cnt[d]++
 			}
-			d := int(s.msg.Dst)
-			recv[d] += fl
-			next[d] = append(next[d], s.msg)
 		}
 	}
 	for _, r := range recv {
@@ -340,11 +447,77 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 
 	m.spare = m.inbox
 	m.inbox = next
+	m.cur = 1 - m.cur
 	return st, engine.StepStats{
 		W: st.W, H: st.H, N: st.N,
 		Steps: st.Steps, MaxSlot: st.MaxSlot, Overload: st.Overload,
 		CM: st.CM, Cost: st.Cost, Hist: hist,
 	}
+}
+
+// routeParallel is the destination-sharded routing used for large steps on
+// multi-worker machines: each worker chunk of processors counts its own
+// messages per destination and its own injection histogram into a recycled
+// chunk×destination grid (no global map, no locks), a serial reduce turns
+// the chunk counts into exact slab positions (bucket start + messages the
+// earlier chunks place in that bucket), and a second parallel pass writes
+// every message to its precomputed position. Positions depend only on
+// (processor order, slot order within processor), never on worker
+// scheduling, so the slab is byte-identical to the serial path for any
+// worker count.
+func (m *Machine) routeParallel(slab []Msg, hist []int, cur []int) {
+	p := m.p
+	nh := len(hist)
+	width, chunks := m.core.ChunkPlan(p)
+	grid := m.core.Grid(chunks * (p + nh))
+	cnts := grid[:chunks*p]
+	hists := grid[chunks*p:]
+
+	m.core.ForChunks(p, func(lo, hi int) {
+		r := lo / width
+		crow := cnts[r*p : (r+1)*p]
+		hrow := hists[r*nh : (r+1)*nh]
+		for i := lo; i < hi; i++ {
+			sends := m.ctxs[i].sends
+			for k := range sends {
+				s := &sends[k]
+				end := s.slot + int(s.msg.Len)
+				for f := s.slot; f < end; f++ {
+					hrow[f]++
+				}
+				crow[int(s.msg.Dst)]++
+			}
+		}
+	})
+
+	for t := 0; t < nh; t++ {
+		sum := 0
+		for r := 0; r < chunks; r++ {
+			sum += hists[r*nh+t]
+		}
+		hist[t] = sum
+	}
+	for d := 0; d < p; d++ {
+		s := cur[d]
+		for r := 0; r < chunks; r++ {
+			k := cnts[r*p+d]
+			cnts[r*p+d] = s
+			s += k
+		}
+	}
+
+	m.core.ForChunks(p, func(lo, hi int) {
+		r := lo / width
+		crow := cnts[r*p : (r+1)*p]
+		for i := lo; i < hi; i++ {
+			sends := m.ctxs[i].sends
+			for k := range sends {
+				d := int(sends[k].msg.Dst)
+				slab[crow[d]] = sends[k].msg
+				crow[d]++
+			}
+		}
+	})
 }
 
 // Inbox returns processor i's current inbox (the messages it would see via

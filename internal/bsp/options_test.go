@@ -1,0 +1,49 @@
+package bsp
+
+import (
+	"testing"
+
+	"parbw/internal/engine"
+	"parbw/internal/model"
+)
+
+// A machine built from engine.Options must behave identically to one built
+// from the equivalent Config: same cost model, same RNG derivation, same
+// simulated time.
+func TestNewFromOptionsEquivalent(t *testing.T) {
+	run := func(m *Machine) model.Time {
+		p := m.P()
+		for s := 0; s < 3; s++ {
+			m.Superstep(func(c *Ctx) {
+				c.Charge(2)
+				c.Send((c.ID()+c.RNG().Intn(p-1)+1)%p, 1, int64(c.ID()))
+			})
+		}
+		return m.Time()
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		opts engine.Options
+	}{
+		{"bspm", Config{P: 32, Cost: model.BSPm(8, 4), Seed: 7}, engine.Options{Procs: 32, M: 8, L: 4, Seed: 7}},
+		{"bspg", Config{P: 32, Cost: model.BSPg(2, 4), Seed: 7}, engine.Options{Procs: 32, G: 2, L: 4, Seed: 7}},
+		{"bspm linear", Config{P: 32, Cost: model.BSPmLinear(8, 4), Seed: 7},
+			engine.Options{Procs: 32, M: 8, L: 4, Penalty: model.LinearPenalty, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := New(tc.cfg), New(tc.opts)
+			if a.Cost().Kind != b.Cost().Kind {
+				t.Fatalf("cost kinds differ: %v vs %v", a.Cost().Kind, b.Cost().Kind)
+			}
+			ta, tb := run(a), run(b)
+			if ta != tb {
+				t.Fatalf("model time differs: Config %g vs Options %g", ta, tb)
+			}
+			if a.Last() != b.Last() {
+				t.Fatalf("final stats differ: %+v vs %+v", a.Last(), b.Last())
+			}
+		})
+	}
+}

@@ -49,8 +49,10 @@ type Core[S any] struct {
 	ring  [ringCap]StepStats
 	ringN int
 
-	hist   []int // recycled per-step injection/request histogram
-	ledger []int // recycled per-processor counter, length p
+	hist    []int // recycled per-step injection/request histogram
+	ledger  []int // recycled per-processor counter, length p
+	offsets []int // recycled per-processor counter, length p (slab.go)
+	grid    []int // recycled chunk×destination count matrix (slab.go)
 
 	observers []Observer
 }

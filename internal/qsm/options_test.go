@@ -1,0 +1,47 @@
+package qsm
+
+import (
+	"testing"
+
+	"parbw/internal/engine"
+	"parbw/internal/model"
+)
+
+// A machine built from engine.Options must behave identically to one built
+// from the equivalent Config.
+func TestNewFromOptionsEquivalent(t *testing.T) {
+	run := func(m *Machine) model.Time {
+		p := m.P()
+		for s := 0; s < 3; s++ {
+			m.Phase(func(c *Ctx) {
+				c.Charge(1)
+				c.Read(c.RNG().Intn(p))
+				c.Write(p+c.ID(), int64(c.ID()))
+			})
+		}
+		return m.Time()
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		opts engine.Options
+	}{
+		{"qsmm", Config{P: 16, Mem: 32, Cost: model.QSMm(4), Seed: 5}, engine.Options{Procs: 16, Mem: 32, M: 4, Seed: 5}},
+		{"qsmg", Config{P: 16, Mem: 32, Cost: model.QSMg(4), Seed: 5}, engine.Options{Procs: 16, Mem: 32, G: 4, Seed: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := New(tc.cfg), New(tc.opts)
+			if a.Cost().Kind != b.Cost().Kind {
+				t.Fatalf("cost kinds differ: %v vs %v", a.Cost().Kind, b.Cost().Kind)
+			}
+			ta, tb := run(a), run(b)
+			if ta != tb {
+				t.Fatalf("model time differs: Config %g vs Options %g", ta, tb)
+			}
+			if a.Last() != b.Last() {
+				t.Fatalf("final stats differ: %+v vs %+v", a.Last(), b.Last())
+			}
+		})
+	}
+}

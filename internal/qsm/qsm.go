@@ -25,6 +25,7 @@ package qsm
 
 import (
 	"fmt"
+	"slices"
 
 	"parbw/internal/engine"
 	"parbw/internal/model"
@@ -45,7 +46,9 @@ type Stats struct {
 	Cost     model.Time // phase cost under the machine's model
 }
 
-// Config configures a Machine.
+// Config configures a Machine with an explicit model.Cost. It is the
+// low-level construction surface; most callers should build machines from
+// the cross-machine engine.Options instead (see New).
 type Config struct {
 	P       int        // processors
 	Mem     int        // shared-memory words
@@ -89,8 +92,26 @@ type Machine struct {
 	mergeFn func() (Stats, engine.StepStats)
 }
 
-// New constructs a Machine; it panics on invalid configuration.
-func New(cfg Config) *Machine {
+// New constructs a Machine from either the package-native Config or the
+// cross-machine engine.Options surface (engine.Options selects QSM(m) when
+// M > 0, QSM(g) otherwise; see its docs). It panics on invalid
+// configuration.
+func New[C Config | engine.Options](cfg C) *Machine {
+	if o, ok := any(cfg).(engine.Options); ok {
+		return newMachine(Config{
+			P:        o.Procs,
+			Mem:      o.Mem,
+			Cost:     o.QSMCost(),
+			Seed:     o.Seed,
+			Workers:  o.Workers,
+			Trace:    o.Trace,
+			Observer: o.Observer,
+		})
+	}
+	return newMachine(any(cfg).(Config))
+}
+
+func newMachine(cfg Config) *Machine {
 	if !cfg.Cost.SharedMemory() {
 		panic(fmt.Sprintf("qsm: cost model %v is not a QSM kind", cfg.Cost.Kind))
 	}
@@ -212,17 +233,40 @@ func (c *Ctx) WriteAt(slot, addr int, val int64) {
 	c.nw++
 }
 
+// addReq is the per-request hot path; the panics live in separate functions
+// so that it stays within the inlining budget, and the request is written in
+// place rather than appended by value.
 func (c *Ctx) addReq(slot, addr int, val int64, write bool) {
 	if slot < 0 {
-		panic(fmt.Sprintf("qsm: proc %d request at negative slot %d", c.id, slot))
+		c.badSlot(slot)
 	}
 	if addr < 0 || addr >= len(c.m.mem) {
-		panic(fmt.Sprintf("qsm: proc %d access to invalid address %d (mem=%d)", c.id, addr, len(c.m.mem)))
+		c.badAddr(addr)
 	}
-	c.reqs = append(c.reqs, request{slot: slot, addr: addr, val: val, write: write})
+	n := len(c.reqs)
+	if n == cap(c.reqs) {
+		c.reqs = append(c.reqs, request{})
+	} else {
+		c.reqs = c.reqs[:n+1]
+	}
+	r := &c.reqs[n]
+	r.slot = slot
+	r.addr = addr
+	r.val = val
+	r.write = write
 	if slot+1 > c.autoSlot {
 		c.autoSlot = slot + 1
 	}
+}
+
+//go:noinline
+func (c *Ctx) badSlot(slot int) {
+	panic(fmt.Sprintf("qsm: proc %d request at negative slot %d", c.id, slot))
+}
+
+//go:noinline
+func (c *Ctx) badAddr(addr int) {
+	panic(fmt.Sprintf("qsm: proc %d access to invalid address %d (mem=%d)", c.id, addr, len(c.m.mem)))
 }
 
 // Phase executes fn for every processor, applies buffered writes, computes
@@ -233,6 +277,10 @@ func (m *Machine) Phase(fn func(c *Ctx)) Stats {
 	m.fn = nil
 	return st
 }
+
+// insertionSortMax bounds the request-schedule length handled by the
+// inlined insertion sort; longer schedules fall back to the library sort.
+const insertionSortMax = 32
 
 // merge is the QSM merge strategy: it validates request schedules, computes
 // contention κ, applies buffered writes, and prices the phase.
@@ -255,17 +303,32 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 		}
 		st.Reads += c.nr
 		st.Writes += c.nw
-		// Validate one request per processor per step.
-		engine.CheckSchedule(c.reqs,
-			func(r request) int { return r.slot },
-			func(r request) int { return 1 },
-			func(slot int) {
-				panic(fmt.Sprintf("qsm: proc %d issues two requests in step %d", i, slot))
-			})
-		for _, r := range c.reqs {
-			if r.slot+1 > maxStep {
-				maxStep = r.slot + 1
+		// Validate one request per processor per step: sort by slot, then
+		// reject duplicates. Inlined on the concrete request type (the
+		// generic closure-based engine.CheckSchedule dominated the
+		// pre-rework phase-merge profile); short schedules take the
+		// allocation-free insertion sort. Slots are strictly increasing
+		// after a valid sort, so the processor's step span is the last
+		// request's slot.
+		reqs := c.reqs
+		if n := len(reqs); n > 1 {
+			if n <= insertionSortMax {
+				for a := 1; a < n; a++ {
+					for j := a; j > 0 && reqs[j].slot < reqs[j-1].slot; j-- {
+						reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
+					}
+				}
+			} else {
+				slices.SortFunc(reqs, func(a, b request) int { return a.slot - b.slot })
 			}
+		}
+		prevSlot := -1
+		for k := range reqs {
+			r := &reqs[k]
+			if r.slot == prevSlot {
+				panic(fmt.Sprintf("qsm: proc %d issues two requests in step %d", i, r.slot))
+			}
+			prevSlot = r.slot
 			if m.rdCount[r.addr] == 0 && m.wrCount[r.addr] == 0 {
 				m.touched = append(m.touched, r.addr)
 			}
@@ -274,6 +337,9 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 			} else {
 				m.rdCount[r.addr]++
 			}
+		}
+		if prevSlot+1 > maxStep {
+			maxStep = prevSlot + 1
 		}
 	}
 	if st.H < 1 {
@@ -301,8 +367,9 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	// highest-numbered writer wins deterministically (Arbitrary rule).
 	hist := m.core.Hist(maxStep)
 	for i := range m.ctxs {
-		c := &m.ctxs[i]
-		for _, r := range c.reqs {
+		reqs := m.ctxs[i].reqs
+		for k := range reqs {
+			r := &reqs[k]
 			hist[r.slot]++
 			if r.write {
 				m.mem[r.addr] = r.val

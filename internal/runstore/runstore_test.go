@@ -207,3 +207,56 @@ func TestInvalidKeyRejected(t *testing.T) {
 		t.Fatal("short key accepted")
 	}
 }
+
+// Delete must compose cleanly with quarantine: once a corrupt entry has
+// been quarantined (reported as a miss), deleting its key is a no-op that
+// does not error, and the key can be re-populated afterwards. This is the
+// contract DELETE /v1/runs/{key} relies on for its 404-not-500 behavior.
+func TestDeleteQuarantineInteraction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: 77, Quick: true, Version: "t"})
+	if _, err := s.Put(key, fakeResult(77)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the on-disk entry, then reopen so the memory layer cannot
+	// mask the corruption.
+	if err := os.WriteFile(s.path(key), []byte("garbage, not a result"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := s.GetBytes(key); err != nil || ok {
+		t.Fatalf("corrupt entry: want quarantined miss, got ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+	if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+		t.Fatalf("quarantined entry still at primary path (err=%v)", err)
+	}
+
+	// Deleting the quarantined key must not error even though the primary
+	// file is gone.
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete after quarantine: %v", err)
+	}
+	if _, ok, err := s.GetBytes(key); err != nil || ok {
+		t.Fatalf("after delete: want miss, got ok=%v err=%v", ok, err)
+	}
+
+	// The key is usable again.
+	if _, err := s.Put(key, fakeResult(77)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.GetBytes(key); err != nil || !ok {
+		t.Fatalf("after re-put: want hit, got ok=%v err=%v", ok, err)
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 
 	"parbw/internal/collective"
 	"parbw/internal/model"
@@ -47,21 +48,27 @@ type QSMResult struct {
 	Period int
 }
 
-// checkQSMPlan validates shape and addresses.
+// checkQSMPlan validates shape and addresses. Duplicate detection sorts a
+// reused address scratch per processor instead of filling a map — the
+// per-phase map allocation and hashing showed up in the scheduling sweeps.
 func checkQSMPlan(m *qsm.Machine, plan QSMPlan) {
 	if len(plan) != m.P() {
 		panic(fmt.Sprintf("sched: QSM plan has %d rows for %d processors", len(plan), m.P()))
 	}
+	var addrs []int // reused across processors
 	for i, ws := range plan {
-		seen := map[int]bool{}
+		addrs = addrs[:0]
 		for _, w := range ws {
 			if w.Addr < 0 || w.Addr >= m.Mem() {
 				panic(fmt.Sprintf("sched: proc %d write to invalid address %d", i, w.Addr))
 			}
-			if seen[w.Addr] {
-				panic(fmt.Sprintf("sched: proc %d writes address %d twice in one phase", i, w.Addr))
+			addrs = append(addrs, w.Addr)
+		}
+		slices.Sort(addrs)
+		for k := 1; k < len(addrs); k++ {
+			if addrs[k] == addrs[k-1] {
+				panic(fmt.Sprintf("sched: proc %d writes address %d twice in one phase", i, addrs[k]))
 			}
-			seen[w.Addr] = true
 		}
 	}
 }

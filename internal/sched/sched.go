@@ -152,18 +152,70 @@ func (r Result) OptimalOffline(m, l int) model.Time {
 	return t
 }
 
-// checkPlan validates destinations and shape.
-func checkPlan(m *bsp.Machine, plan Plan) {
-	if len(plan) != m.P() {
-		panic(fmt.Sprintf("sched: plan has %d rows for %d processors", len(plan), m.P()))
+// compiled is a plan compacted for the sending hot loop: one contiguous
+// message array with per-processor row bounds and a per-message cumulative
+// flit offset, so the superstep body computes each injection slot with two
+// array reads and an add — no nested slices, no repeated Flits calls, and
+// no recomputation of the flit tallies that both the period computation and
+// the result assembly need. Compilation also validates the plan (shape and
+// destinations), subsuming the old checkPlan.
+type compiled struct {
+	msgs []bsp.Msg // all rows concatenated in processor order
+	row  []int     // len p+1; msgs[row[i]:row[i+1]] is processor i's row
+	off  []int     // per-message flit offset within its row (cumulative)
+	x    []int     // per-processor flit counts x_i
+	y    []int     // per-destination flit counts y_i
+	n    int       // total flits
+}
+
+// compile flattens and validates a plan against machine m.
+func compile(m *bsp.Machine, plan Plan) *compiled {
+	p := m.P()
+	if len(plan) != p {
+		panic(fmt.Sprintf("sched: plan has %d rows for %d processors", len(plan), p))
+	}
+	total := 0
+	for _, msgs := range plan {
+		total += len(msgs)
+	}
+	c := &compiled{
+		msgs: make([]bsp.Msg, 0, total),
+		row:  make([]int, p+1),
+		off:  make([]int, total),
+		x:    make([]int, p),
+		y:    make([]int, p),
 	}
 	for i, msgs := range plan {
+		c.row[i] = len(c.msgs)
+		acc := 0
 		for _, msg := range msgs {
-			if int(msg.Dst) < 0 || int(msg.Dst) >= m.P() {
+			if int(msg.Dst) < 0 || int(msg.Dst) >= p {
 				panic(fmt.Sprintf("sched: proc %d message to invalid dst %d", i, msg.Dst))
 			}
+			c.off[len(c.msgs)] = acc
+			c.msgs = append(c.msgs, msg)
+			f := msg.Flits()
+			acc += f
+			c.y[msg.Dst] += f
+		}
+		c.x[i] = acc
+		c.n += acc
+	}
+	c.row[p] = len(c.msgs)
+	return c
+}
+
+// xbar returns max x_i, max y_i.
+func (c *compiled) bars() (xb, yb int) {
+	for i := range c.x {
+		if c.x[i] > xb {
+			xb = c.x[i]
+		}
+		if c.y[i] > yb {
+			yb = c.y[i]
 		}
 	}
+	return xb, yb
 }
 
 // learnN makes n known to every processor: either via Options.KnownN, or by
@@ -181,34 +233,16 @@ func learnN(m *bsp.Machine, x []int, opt Options) (n int, tau model.Time) {
 	return int(total), m.Time() - before
 }
 
-// runSend executes one sending superstep in which processor i's messages
-// are injected at the slots chosen by place (called once per processor; it
-// must call emit once per message with the chosen physical start slot).
-func runSend(m *bsp.Machine, plan Plan, place func(c *bsp.Ctx, emit func(slot int, msg bsp.Msg))) bsp.Stats {
-	return m.Superstep(func(c *bsp.Ctx) {
-		place(c, func(slot int, msg bsp.Msg) {
-			c.SendAt(slot, int(msg.Dst), msg)
-		})
-	})
-}
-
-// finish assembles the Result.
-func finish(m *bsp.Machine, plan Plan, st bsp.Stats, tau model.Time, period int) Result {
-	x, n, y := plan.Flits(m.P())
-	xb, yb := 0, 0
-	for i := range x {
-		if x[i] > xb {
-			xb = x[i]
-		}
-		if y[i] > yb {
-			yb = y[i]
-		}
-	}
+// finish assembles the Result from the compiled plan's precomputed tallies
+// (the pre-compaction code walked the ragged plan twice per run to recount
+// them).
+func finish(cp *compiled, st bsp.Stats, tau model.Time, period int) Result {
+	xb, yb := cp.bars()
 	return Result{
 		Time:   st.Cost + tau,
 		Tau:    tau,
 		Send:   st,
-		N:      n,
+		N:      cp.n,
 		XBar:   xb,
 		YBar:   yb,
 		Period: period,
@@ -229,37 +263,32 @@ func period(n, m int, eps float64) int {
 // cyclic allocation crosses the period boundary is sent straight through in
 // consecutive steps (additive ℓ̂).
 func UnbalancedSend(m *bsp.Machine, plan Plan, opt Options) Result {
-	checkPlan(m, plan)
-	x, _, _ := plan.Flits(m.P())
-	n, tau := learnN(m, x, opt)
+	cp := compile(m, plan)
+	n, tau := learnN(m, cp.x, opt)
 	T := period(n, m.Cost().M, opt.eps())
-	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+	st := m.Superstep(func(c *bsp.Ctx) {
 		i := c.ID()
-		if x[i] == 0 {
+		if cp.x[i] == 0 {
 			return
 		}
-		if x[i] > T {
+		lo, hi := cp.row[i], cp.row[i+1]
+		if cp.x[i] > T {
 			// Overloaded processor: send everything consecutively from 0.
-			slot := 0
-			for _, msg := range plan[i] {
-				emit(slot, msg)
-				slot += msg.Flits()
+			for k := lo; k < hi; k++ {
+				c.SendAt(cp.off[k], int(cp.msgs[k].Dst), cp.msgs[k])
 			}
 			return
 		}
 		j := c.RNG().Intn(T)
-		cur := j
-		for _, msg := range plan[i] {
-			start := cur % T
-			// The flits of one message go consecutively from start; if the
-			// allocation would wrap past T the message simply runs past the
-			// period (at most one message per processor can cross, since
-			// x_i <= T).
-			emit(start, msg)
-			cur += msg.Flits()
+		for k := lo; k < hi; k++ {
+			// The flits of one message go consecutively from the cyclic
+			// start; if the allocation would wrap past T the message simply
+			// runs past the period (at most one message per processor can
+			// cross, since x_i <= T).
+			c.SendAt((j+cp.off[k])%T, int(cp.msgs[k].Dst), cp.msgs[k])
 		}
 	})
-	return finish(m, plan, st, tau, T)
+	return finish(cp, st, tau, T)
 }
 
 // UnbalancedConsecutiveSend runs Algorithm Unbalanced-Consecutive-Send
@@ -267,25 +296,23 @@ func UnbalancedSend(m *bsp.Machine, plan Plan, opt Options) Result {
 // from a uniformly random start in [0, T); the expected completion gains an
 // additive x̄' term (x̄' = max x_i over non-overloaded processors).
 func UnbalancedConsecutiveSend(m *bsp.Machine, plan Plan, opt Options) Result {
-	checkPlan(m, plan)
-	x, _, _ := plan.Flits(m.P())
-	n, tau := learnN(m, x, opt)
+	cp := compile(m, plan)
+	n, tau := learnN(m, cp.x, opt)
 	T := period(n, m.Cost().M, opt.eps())
-	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+	st := m.Superstep(func(c *bsp.Ctx) {
 		i := c.ID()
-		if x[i] == 0 {
+		if cp.x[i] == 0 {
 			return
 		}
 		slot := 0
-		if x[i] <= T {
+		if cp.x[i] <= T {
 			slot = c.RNG().Intn(T)
 		}
-		for _, msg := range plan[i] {
-			emit(slot, msg)
-			slot += msg.Flits()
+		for k := cp.row[i]; k < cp.row[i+1]; k++ {
+			c.SendAt(slot+cp.off[k], int(cp.msgs[k].Dst), cp.msgs[k])
 		}
 	})
-	return finish(m, plan, st, tau, T)
+	return finish(cp, st, tau, T)
 }
 
 // UnbalancedGranularSend runs Algorithm Unbalanced-Granular-Send
@@ -294,10 +321,9 @@ func UnbalancedConsecutiveSend(m *bsp.Machine, plan Plan, opt Options) Result {
 // (stated requirement p < e^{αm} instead of n < e^{αm}). The period is
 // c·n/m with c = Options.GranularC.
 func UnbalancedGranularSend(m *bsp.Machine, plan Plan, opt Options) Result {
-	checkPlan(m, plan)
+	cp := compile(m, plan)
 	p := m.P()
-	x, _, _ := plan.Flits(p)
-	n, tau := learnN(m, x, opt)
+	n, tau := learnN(m, cp.x, opt)
 	mm := m.Cost().M
 	tGran := n / p
 	if tGran < 1 {
@@ -308,25 +334,24 @@ func UnbalancedGranularSend(m *bsp.Machine, plan Plan, opt Options) Result {
 		T = 1
 	}
 	nOverM := n / mm
-	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+	st := m.Superstep(func(c *bsp.Ctx) {
 		i := c.ID()
-		if x[i] == 0 {
+		if cp.x[i] == 0 {
 			return
 		}
 		slot := 0
-		if x[i] <= nOverM {
+		if cp.x[i] <= nOverM {
 			// Random start among granules that leave room for x_i flits.
-			granules := (T - x[i]) / tGran
+			granules := (T - cp.x[i]) / tGran
 			if granules > 0 {
 				slot = c.RNG().Intn(granules) * tGran
 			}
 		}
-		for _, msg := range plan[i] {
-			emit(slot, msg)
-			slot += msg.Flits()
+		for k := cp.row[i]; k < cp.row[i+1]; k++ {
+			c.SendAt(slot+cp.off[k], int(cp.msgs[k].Dst), cp.msgs[k])
 		}
 	})
-	return finish(m, plan, st, tau, T)
+	return finish(cp, st, tau, T)
 }
 
 // NaiveSend injects every processor's messages consecutively from step 0 —
@@ -335,15 +360,14 @@ func UnbalancedGranularSend(m *bsp.Machine, plan Plan, opt Options) Result {
 // exponential penalty, is catastrophically slow; it is the ablation baseline
 // for the value of scheduling.
 func NaiveSend(m *bsp.Machine, plan Plan) Result {
-	checkPlan(m, plan)
-	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
-		slot := 0
-		for _, msg := range plan[c.ID()] {
-			emit(slot, msg)
-			slot += msg.Flits()
+	cp := compile(m, plan)
+	st := m.Superstep(func(c *bsp.Ctx) {
+		i := c.ID()
+		for k := cp.row[i]; k < cp.row[i+1]; k++ {
+			c.SendAt(cp.off[k], int(cp.msgs[k].Dst), cp.msgs[k])
 		}
 	})
-	return finish(m, plan, st, 0, 0)
+	return finish(cp, st, 0, 0)
 }
 
 // OfflineSend injects messages according to the optimal offline schedule:
@@ -354,16 +378,10 @@ func NaiveSend(m *bsp.Machine, plan Plan) Result {
 // models a scheduler with complete advance knowledge, the yardstick of
 // Theorems 6.2–6.4.
 func OfflineSend(m *bsp.Machine, plan Plan) Result {
-	checkPlan(m, plan)
+	cp := compile(m, plan)
 	p := m.P()
-	x, n, _ := plan.Flits(p)
-	xb := 0
-	for _, v := range x {
-		if v > xb {
-			xb = v
-		}
-	}
-	T := (n + m.Cost().M - 1) / m.Cost().M
+	xb, _ := cp.bars()
+	T := (cp.n + m.Cost().M - 1) / m.Cost().M
 	if xb > T {
 		T = xb
 	}
@@ -372,18 +390,17 @@ func OfflineSend(m *bsp.Machine, plan Plan) Result {
 	}
 	rank := make([]int, p) // global flit rank of proc i's first flit
 	for i, acc := 1, 0; i < p; i++ {
-		acc += x[i-1]
+		acc += cp.x[i-1]
 		rank[i] = acc
 	}
-	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+	st := m.Superstep(func(c *bsp.Ctx) {
 		i := c.ID()
-		cur := rank[i]
-		for _, msg := range plan[i] {
-			emit(cur%T, msg)
-			cur += msg.Flits()
+		base := rank[i]
+		for k := cp.row[i]; k < cp.row[i+1]; k++ {
+			c.SendAt((base+cp.off[k])%T, int(cp.msgs[k].Dst), cp.msgs[k])
 		}
 	})
-	return finish(m, plan, st, 0, T)
+	return finish(cp, st, 0, T)
 }
 
 // TemplateSend is the paper's closing remark on Unbalanced-Send: "the
@@ -401,31 +418,27 @@ func TemplateSend(m *bsp.Machine, plan Plan, sep int, opt Options) Result {
 	if sep < 0 {
 		panic("sched: negative separation")
 	}
-	checkPlan(m, plan)
-	x, _, _ := plan.Flits(m.P())
-	n, tau := learnN(m, x, opt)
+	cp := compile(m, plan)
+	n, tau := learnN(m, cp.x, opt)
 	stride := sep + 1
 	T := period(n*stride, m.Cost().M, opt.eps())
-	st := runSend(m, plan, func(c *bsp.Ctx, emit func(int, bsp.Msg)) {
+	st := m.Superstep(func(c *bsp.Ctx) {
 		i := c.ID()
-		if x[i] == 0 {
+		if cp.x[i] == 0 {
 			return
 		}
-		if x[i]*stride > T {
+		lo, hi := cp.row[i], cp.row[i+1]
+		if cp.x[i]*stride > T {
 			// Overloaded: consecutive with the required separation, from 0.
-			slot := 0
-			for _, msg := range plan[i] {
-				emit(slot, msg)
-				slot += msg.Flits() + sep
+			for k := lo; k < hi; k++ {
+				c.SendAt(cp.off[k]+(k-lo)*sep, int(cp.msgs[k].Dst), cp.msgs[k])
 			}
 			return
 		}
 		j := c.RNG().Intn(T)
-		cur := j
-		for _, msg := range plan[i] {
-			emit(cur%T, msg)
-			cur += msg.Flits() + sep
+		for k := lo; k < hi; k++ {
+			c.SendAt((j+cp.off[k]+(k-lo)*sep)%T, int(cp.msgs[k].Dst), cp.msgs[k])
 		}
 	})
-	return finish(m, plan, st, tau, T)
+	return finish(cp, st, tau, T)
 }

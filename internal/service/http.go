@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"parbw/internal/engine"
@@ -14,38 +15,71 @@ import (
 	"parbw/internal/runstore"
 )
 
-// API is the HTTP surface of the run service, served by `bandsim serve`:
+// API is the HTTP surface of the run service, served by `bandsim serve`.
+// The v1 surface lives under /v1/; the original unversioned paths remain as
+// deprecated aliases with identical behavior (each logs a deprecation
+// notice once per process and answers with a Deprecation header).
 //
-//	GET  /experiments   registry listing (id, title, source)
-//	POST /runs          submit a sweep; waits for completion unless "wait": false
-//	GET  /runs          snapshots of every retained job
-//	GET  /runs/{id}     a job by id ("job-000001"), or — when {id} is a
-//	                    64-hex run-store key — the stored canonical result JSON
-//	DELETE /runs/{id}   cancel a job
-//	GET  /healthz       liveness; add ?ready=1 for the readiness check
-//	GET  /readyz        readiness: store writability + dispatcher liveness
-//	GET  /statsz        run-store hit/miss/quarantine counters + executor
-//	                    counters (shed/degraded/breaker) + aggregate engine
-//	                    counters (supersteps simulated, traffic units routed,
-//	                    max slot load, overloads)
+//	GET  /v1/experiments   registry listing (id, title, source)
+//	POST /v1/runs          submit a sweep; waits for completion unless "wait": false
+//	GET  /v1/runs          job listing; supports ?limit= and ?cursor= pagination
+//	                       plus ?experiment= filtering (see handleListRuns)
+//	GET  /v1/runs/{id}     a job by id ("job-000001"), or — when {id} is a
+//	                       64-hex run-store key — the stored canonical result JSON
+//	DELETE /v1/runs/{id}   cancel a job, or delete a stored result by key
+//	GET  /v1/healthz       liveness; add ?ready=1 for the readiness check
+//	GET  /v1/readyz        readiness: store writability + dispatcher liveness
+//	GET  /v1/statsz        run-store hit/miss/quarantine counters + executor
+//	                       counters (shed/degraded/breaker) + aggregate engine
+//	                       counters (supersteps simulated, traffic units routed,
+//	                       max slot load, overloads)
 //
-// Failure semantics: 400 means the request itself is malformed (bad JSON,
-// unknown experiment, over the task cap) — do not retry unchanged. 503 with
-// a Retry-After header means the service is shedding load (queue full) or
+// Every non-2xx response carries the uniform error envelope
+//
+//	{"error": {"code": "...", "message": "...", "retry_after": N?, "suggestions": [...]?}}
+//
+// where code is a stable machine-readable token (bad_request,
+// unknown_experiment, not_found, unavailable, not_ready, internal) and
+// retry_after (seconds, mirrored in the Retry-After header) appears only on
+// shedding responses. 400 means the request itself is malformed — do not
+// retry unchanged. 503 means the service is shedding load (queue full) or
 // draining for shutdown — retry after the hinted delay. A stored result
 // served by key is returned byte-for-byte as stored, so repeated fetches
 // are binary-identical.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /experiments", s.handleExperiments)
-	mux.HandleFunc("POST /runs", s.handleCreateRun)
-	mux.HandleFunc("GET /runs", s.handleListRuns)
-	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
-	mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/experiments", s.handleExperiments},
+		{"POST", "/runs", s.handleCreateRun},
+		{"GET", "/runs", s.handleListRuns},
+		{"GET", "/runs/{id}", s.handleGetRun},
+		{"DELETE", "/runs/{id}", s.handleCancelRun},
+		{"GET", "/healthz", s.handleHealthz},
+		{"GET", "/readyz", s.handleReadyz},
+		{"GET", "/statsz", s.handleStatsz},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.method, rt.path, rt.h))
+	}
 	return mux
+}
+
+// deprecatedAlias keeps an unversioned path answering exactly like its /v1
+// twin while logging a deprecation notice the first time it is hit and
+// marking every response with a Deprecation header (RFC 9745).
+func deprecatedAlias(method, path string, h http.HandlerFunc) http.HandlerFunc {
+	var once sync.Once
+	return func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() {
+			log.Printf("service: deprecated unversioned path %s %s — use %s /v1%s", method, path, method, path)
+		})
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
 }
 
 // writeJSON encodes v to w. Encode errors (a client that hung up mid-body,
@@ -65,23 +99,46 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-type apiError struct {
-	Error       string   `json:"error"`
+// Stable error codes of the v1 envelope.
+const (
+	codeBadRequest        = "bad_request"
+	codeUnknownExperiment = "unknown_experiment"
+	codeNotFound          = "not_found"
+	codeUnavailable       = "unavailable"
+	codeNotReady          = "not_ready"
+	codeInternal          = "internal"
+)
+
+// errorBody is the inner object of the uniform error envelope.
+type errorBody struct {
+	Code        string   `json:"code"`
+	Message     string   `json:"message"`
+	RetryAfter  int      `json:"retry_after,omitempty"` // seconds; shedding only
 	Suggestions []string `json:"suggestions,omitempty"`
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+// apiError is the envelope every non-2xx response carries.
+type apiError struct {
+	Error errorBody `json:"error"`
 }
 
-// writeUnavailable sheds a request: 503 plus a Retry-After hint.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeUnavailable sheds a request: 503 plus a Retry-After hint, in both
+// the header and the envelope.
 func (s *Server) writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
 	secs := int(retryAfter / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	s.writeError(w, http.StatusServiceUnavailable, format, args...)
+	s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: errorBody{
+		Code:       codeUnavailable,
+		Message:    fmt.Sprintf(format, args...),
+		RetryAfter: secs,
+	}})
 }
 
 type experimentInfo struct {
@@ -104,7 +161,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	job, err := s.Submit(req)
@@ -113,17 +170,18 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		var full *QueueFullError
 		switch {
 		case errors.As(err, &unknown):
-			s.writeJSON(w, http.StatusBadRequest, apiError{
-				Error:       fmt.Sprintf("unknown experiment %q", unknown.ID),
+			s.writeJSON(w, http.StatusBadRequest, apiError{Error: errorBody{
+				Code:        codeUnknownExperiment,
+				Message:     fmt.Sprintf("unknown experiment %q", unknown.ID),
 				Suggestions: unknown.Suggestions,
-			})
+			}})
 		case errors.As(err, &full):
 			// Load shedding is not a client error: 503 + Retry-After.
 			s.writeUnavailable(w, full.RetryAfter, "%v", err)
 		case errors.Is(err, ErrDraining):
 			s.writeUnavailable(w, shedRetryAfter, "%v", err)
 		default:
-			s.writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		}
 		return
 	}
@@ -139,8 +197,80 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, job.View())
 }
 
+// maxListLimit caps one page of GET /v1/runs.
+const maxListLimit = 500
+
+// runList is the response of GET /v1/runs. NextCursor is present only when
+// a limit was given and more jobs remain; passing it back as ?cursor=
+// resumes the listing after the last job of this page.
+type runList struct {
+	Jobs       []JobView `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
+// handleListRuns lists retained jobs, oldest first. Query parameters:
+//
+//	limit=N         return at most N jobs (1..500) and a next_cursor when
+//	                more remain; omitted = the whole listing (legacy shape)
+//	cursor=ID       resume after job ID (as returned in next_cursor)
+//	experiment=EID  only jobs with at least one task running experiment EID
+//
+// An unparseable limit or a cursor naming no retained job is a 400; a
+// cursor is position-stable because job ids are monotone and the listing is
+// oldest-first, so a pruned cursor job cannot silently skip survivors.
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, "limit must be a positive integer, got %q", raw)
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
+	}
+	jobs := s.Jobs()
+
+	if cursor := q.Get("cursor"); cursor != "" {
+		start := -1
+		for i, v := range jobs {
+			if v.ID == cursor {
+				start = i + 1
+				break
+			}
+		}
+		if start < 0 {
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, "unknown cursor %q", cursor)
+			return
+		}
+		jobs = jobs[start:]
+	}
+
+	if exp := q.Get("experiment"); exp != "" {
+		kept := jobs[:0:len(jobs)]
+		for _, v := range jobs {
+			for _, t := range v.Tasks {
+				if t.Experiment == exp {
+					kept = append(kept, v)
+					break
+				}
+			}
+		}
+		jobs = kept
+	}
+
+	out := runList{Jobs: jobs}
+	if limit > 0 && len(jobs) > limit {
+		out.Jobs = jobs[:limit]
+		out.NextCursor = jobs[limit-1].ID
+	}
+	if out.Jobs == nil {
+		out.Jobs = []JobView{} // an empty page is [], not null
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
@@ -148,11 +278,11 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	if runstore.ValidKey(id) {
 		data, ok, err := s.opts.Store.GetBytes(id)
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 			return
 		}
 		if !ok {
-			s.writeError(w, http.StatusNotFound, "no stored run with key %s", id)
+			s.writeError(w, http.StatusNotFound, codeNotFound, "no stored run with key %s", id)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -161,17 +291,39 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job, ok := s.Job(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "no job %q", id)
+		s.writeError(w, http.StatusNotFound, codeNotFound, "no job %q", id)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, job.View())
 }
 
+// handleCancelRun cancels a job by id, or deletes a stored result when the
+// id is a run-store key. The key path reads before deleting so that a
+// corrupt entry is quarantined and answered as a 404 miss (the delete of a
+// just-quarantined key is then a harmless no-op) instead of surfacing a
+// 500 for a result the client could never have fetched anyway.
 func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if runstore.ValidKey(id) {
+		_, ok, err := s.opts.Store.GetBytes(id)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+			return
+		}
+		if !ok {
+			s.writeError(w, http.StatusNotFound, codeNotFound, "no stored run with key %s", id)
+			return
+		}
+		if err := s.opts.Store.Delete(id); err != nil {
+			s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		return
+	}
 	job, ok := s.Job(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "no job %q", id)
+		s.writeError(w, http.StatusNotFound, codeNotFound, "no job %q", id)
 		return
 	}
 	job.Cancel()
@@ -193,10 +345,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // real write). Load balancers should route on this, not /healthz.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if err := s.Ready(); err != nil {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status": "not ready",
-			"error":  err.Error(),
-		})
+		s.writeError(w, http.StatusServiceUnavailable, codeNotReady, "%v", err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

@@ -214,14 +214,17 @@ func TestUnknownExperimentSuggestions(t *testing.T) {
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
+	if e.Error.Code != codeUnknownExperiment {
+		t.Fatalf("error code %q, want %q", e.Error.Code, codeUnknownExperiment)
+	}
 	ok := false
-	for _, sug := range e.Suggestions {
+	for _, sug := range e.Error.Suggestions {
 		if sug == "table1/broadcast" {
 			ok = true
 		}
 	}
 	if !ok {
-		t.Fatalf("suggestions %v missing table1/broadcast", e.Suggestions)
+		t.Fatalf("suggestions %v missing table1/broadcast", e.Error.Suggestions)
 	}
 }
 
