@@ -14,10 +14,13 @@
 //
 // Flags:
 //
-//	-seed N    experiment seed (default 1)
-//	-quick     smaller parameter sweeps
-//	-csv       emit CSV instead of aligned tables
-//	-json      emit structured result JSON (run only)
+//	-seed N         experiment seed (default 1)
+//	-quick          the "quick" preset: smaller parameter sweeps
+//	-set key=value  set one experiment parameter (repeatable); names and
+//	                values are validated against each experiment's declared
+//	                schema, with did-you-mean suggestions on a typo
+//	-csv            emit CSV instead of aligned tables
+//	-json           emit structured result JSON (run only)
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"parbw/internal/harness"
@@ -32,17 +36,27 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
-	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	quick := flag.Bool("quick", false, `the "quick" preset: smaller parameter sweeps`)
 	csv := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit structured result JSON (run only)")
+	sets := setFlags{}
+	flag.Var(sets, "set", "set an experiment parameter as key=value (repeatable)")
 	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	args := parseArgs()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	cfg := harness.Config{Seed: *seed, Quick: *quick, CSV: *csv}
+	params := map[string]string{}
+	if *quick {
+		for k, v := range harness.Presets["quick"] {
+			params[k] = v
+		}
+	}
+	for k, v := range sets { // explicit -set wins over the preset
+		params[k] = v
+	}
+	cfg := harness.Config{Seed: *seed, Params: params, CSV: *csv}
 
 	switch args[0] {
 	case "trace":
@@ -96,10 +110,16 @@ func main() {
 				ids = append(ids, e.ID)
 			}
 		}
-		// Validate the whole selection before running any of it.
+		// Validate the whole selection — ids and parameter assignments —
+		// before running any of it.
 		for _, id := range ids {
-			if _, ok := harness.ByID(id); !ok {
+			e, ok := harness.ByID(id)
+			if !ok {
 				fmt.Fprint(os.Stderr, unknownIDMessage(id))
+				os.Exit(1)
+			}
+			if _, err := e.Resolve(cfg.Params); err != nil {
+				fmt.Fprintln(os.Stderr, "bandsim:", err)
 				os.Exit(1)
 			}
 		}
@@ -122,6 +142,59 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+}
+
+// parseArgs parses the command line allowing global flags before or after
+// the subcommand and ids ("bandsim run table1/broadcast -set p=64"), which
+// the stdlib parser alone does not: it stops at the first positional, so the
+// remainder is re-parsed until only positionals are left. The serve and
+// bench subcommands own their trailing flags and are left untouched.
+func parseArgs() []string {
+	flag.Parse()
+	rest := flag.Args()
+	if len(rest) > 0 && (rest[0] == "serve" || rest[0] == "bench") {
+		return rest
+	}
+	var out []string
+	for {
+		i := 0
+		for i < len(rest) && !strings.HasPrefix(rest[i], "-") {
+			out = append(out, rest[i])
+			i++
+		}
+		if i == len(rest) {
+			return out
+		}
+		flag.CommandLine.Parse(rest[i:]) // ExitOnError: exits on a bad flag
+		rest = flag.Args()
+	}
+}
+
+// setFlags is the repeatable -set key=value flag: later assignments to the
+// same key win, matching how presets are overridden.
+type setFlags map[string]string
+
+func (s setFlags) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + s[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s setFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	k = strings.TrimSpace(k)
+	if !ok || k == "" {
+		return fmt.Errorf("expected key=value, got %q", v)
+	}
+	s[k] = strings.TrimSpace(val)
+	return nil
 }
 
 // unknownIDMessage formats the error for a mistyped experiment id, with the
@@ -168,6 +241,9 @@ func exportAll(dir string, cfg harness.Config) error {
 	}
 	cfg.CSV = true
 	for _, e := range harness.All() {
+		if _, err := e.Resolve(cfg.Params); err != nil {
+			return err
+		}
 		name := strings.ReplaceAll(e.ID, "/", "_") + ".csv"
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {

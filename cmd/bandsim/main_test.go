@@ -104,7 +104,7 @@ func TestUnknownIDMessageNoMatches(t *testing.T) {
 
 func TestExportAll(t *testing.T) {
 	dir := t.TempDir()
-	if err := exportAll(dir, harness.Config{Seed: 1, Quick: true}); err != nil {
+	if err := exportAll(dir, harness.Config{Seed: 1, Params: harness.QuickParams()}); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -120,5 +120,33 @@ func TestExportAll(t *testing.T) {
 	}
 	if !strings.Contains(string(b), "p,model,measured") {
 		t.Fatalf("CSV header missing: %q", string(b)[:60])
+	}
+}
+
+func TestSetFlags(t *testing.T) {
+	s := setFlags{}
+	for _, v := range []string{"p=64", " g = 8 ", "p=128", "eps=0.5"} {
+		if err := s.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	if s["p"] != "128" || s["g"] != "8" || s["eps"] != "0.5" {
+		t.Fatalf("setFlags = %v", s)
+	}
+	if got := s.String(); got != "eps=0.5,g=8,p=128" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "noequals", "=5"} {
+		if err := s.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExportAllRejectsBadParams(t *testing.T) {
+	dir := t.TempDir()
+	err := exportAll(dir, harness.Config{Seed: 1, Params: map[string]string{"bogus": "1"}})
+	if err == nil {
+		t.Fatal("exportAll accepted an undeclared param")
 	}
 }

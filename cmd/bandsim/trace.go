@@ -129,7 +129,7 @@ func traceExperiment(w io.Writer, e harness.Experiment, seed uint64, csv bool) e
 	obs := engine.ObserverFunc(func(st engine.StepStats) {
 		steps = append(steps, st)
 	})
-	cfg := harness.Config{Seed: seed, Quick: true, Observer: obs}
+	cfg := harness.Config{Seed: seed, Params: harness.QuickParams(), Observer: obs}
 	e.Run(io.Discard, cfg)
 
 	t := tablefmt.New(fmt.Sprintf("superstep timeline: %s (quick, seed %d)", e.ID, seed),

@@ -150,16 +150,22 @@ func schedStaticOnce() (total model.Time, n int) {
 	return total, n
 }
 
-// table1Case wraps one harness experiment (quick mode, seed 1) as a suite
-// case; the fingerprint is the experiment's aggregate model time.
+// table1Case wraps one harness experiment (quick preset, seed 1) as a suite
+// case; the fingerprint is the resolved canonical parameter assignment plus
+// the experiment's aggregate model time, so a schema-default drift changes
+// the fingerprint even when the model time happens to survive it.
 func table1Case(id string) Case {
-	cfg := harness.Config{Seed: 1, Quick: true}
-	run := func() float64 {
+	run := func() (string, float64) {
 		e, ok := harness.ByID(id)
 		if !ok {
 			panic(fmt.Sprintf("bench: unknown experiment %q in fixed suite", id))
 		}
-		return e.Run(nil, cfg).ModelTime
+		raw := harness.QuickParams()
+		vals, err := e.Resolve(raw)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		return vals.Canonical(), e.Run(nil, harness.Config{Seed: 1, Params: raw}).ModelTime
 	}
 	return Case{
 		Name: id,
@@ -171,7 +177,10 @@ func table1Case(id string) Case {
 				run()
 			}
 		},
-		Model: func() string { return fmt.Sprintf("model_time=%g", run()) },
+		Model: func() string {
+			canon, mt := run()
+			return fmt.Sprintf("params{%s} model_time=%g", canon, mt)
+		},
 	}
 }
 

@@ -333,8 +333,8 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	// the overlap check are inlined on the concrete send type: the generic
 	// closure-based engine.CheckSchedule was the hottest single item in the
 	// pre-rework merge profile.
-	recv := m.core.Ledger()  // flits destined per processor
-	cnt := m.core.Offsets()  // messages destined per processor
+	recv := m.core.Ledger() // flits destined per processor
+	cnt := m.core.Offsets() // messages destined per processor
 	maxStep := 0
 	total := 0 // messages this superstep
 	for i := range m.ctxs {

@@ -65,7 +65,7 @@ var global struct {
 	maxSlot    atomic.Int64
 	overloads  atomic.Uint64
 
-	mu        sync.Mutex                     // guards writes to observers
+	mu        sync.Mutex                      // guards writes to observers
 	observers atomic.Pointer[[]*registration] // copy-on-write snapshot
 }
 

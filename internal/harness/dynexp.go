@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 
 	"parbw/internal/bsp"
 	"parbw/internal/dynamic"
@@ -16,27 +17,45 @@ func init() {
 		ID:     "dyn/bspg",
 		Title:  "Dynamic routing stability threshold on the BSP(g)",
 		Source: "Theorem 6.5",
-		run:    runDynBSPg,
+		Params: []ParamSpec{
+			IntParam("p", 16, "processors").Range(2, 1<<16),
+			IntParam("g", 8, "per-processor gap of the BSP(g)").Range(1, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			IntParam("windows", 0, "0 = built-in horizon (120 full, 40 quick)").Range(0, 1<<20),
+		},
+		run: runDynBSPg,
 	})
 	register(Experiment{
 		ID:     "dyn/bspm",
 		Title:  "Algorithm B on the BSP(m): stability region and service time",
 		Source: "Theorem 6.7 and Claim 6.8",
-		run:    runDynBSPm,
+		Params: []ParamSpec{
+			IntParam("p", 32, "processors").Range(2, 1<<16),
+			IntParam("m", 8, "aggregate bandwidth of the BSP(m)").Range(1, 1<<16),
+			IntParam("l", 2, "latency/periodicity floor L").Range(0, 1<<16),
+			IntParam("w", 64, "adversary window length w").Range(4, 1<<16),
+			IntParam("windows", 0, "0 = built-in horizon (200 full, 50 quick)").Range(0, 1<<20),
+		},
+		run: runDynBSPm,
 	})
 	register(Experiment{
 		ID:     "ablation/listrank",
 		Title:  "List ranking: pointer jumping vs random-mate contraction",
 		Source: "DESIGN.md ablation; Table 1 row 4 machinery",
-		run:    runListRankAblation,
+		Params: []ParamSpec{
+			IntParam("n", 0, "0 = built-in sweep over list lengths (n = p)").Range(0, 1<<20),
+			IntParam("m", 8, "aggregate bandwidth of the BSP(m)").Range(1, 1<<16),
+			IntParam("l", 2, "latency/periodicity floor L").Range(0, 1<<16),
+		},
+		run: runListRankAblation,
 	})
 }
 
 func runDynBSPg(rec *Recorder) {
 	cfg := rec.Cfg
-	p, g, l := 16, 8, 4
-	windows := pick(cfg, 120, 40)
-	t := tablefmt.New("BSP(g) interval router, single-source flow (g=8, threshold 1/g = 0.125)",
+	p, g, l := rec.Int("p"), rec.Int("g"), rec.Int("l")
+	windows := rec.IntOr("windows", 120, 40)
+	t := tablefmt.New(fmt.Sprintf("BSP(g) interval router, single-source flow (g=%d, threshold 1/g = %g)", g, 1/float64(g)),
 		"β", "β·g", "stable?", "final backlog", "max backlog")
 	for _, beta := range []float64{0.0625, 0.125, 0.25, 0.5, 1.0} {
 		lmt := dynamic.Limits{W: 32, Alpha: beta, Beta: beta}
@@ -48,12 +67,12 @@ func runDynBSPg(rec *Recorder) {
 	}
 	rec.Emit(t)
 
-	t2 := tablefmt.New("same flows on the BSP(m), m = p/g = 2 (Algorithm B)",
+	t2 := tablefmt.New(fmt.Sprintf("same flows on the BSP(m), m = p/g = %d (Algorithm B)", max(p/g, 1)),
 		"β", "stable?", "final backlog", "max backlog")
 	for _, beta := range []float64{0.25, 0.5, 1.0} {
 		lmt := dynamic.Limits{W: 32, Alpha: beta, Beta: beta}
 		adv := dynamic.SingleTargetAdversary{L: lmt}
-		m := newBSPmExp(p, p/g, l, cfg.Seed)
+		m := newBSPmExp(p, max(p/g, 1), l, cfg.Seed)
 		res := dynamic.RunAlgorithmB(m, adv, lmt, windows, 0.25)
 		t2.Row(beta, stableStr(res.LooksStable()),
 			res.Backlog[len(res.Backlog)-1], res.MaxBacklog)
@@ -62,7 +81,7 @@ func runDynBSPg(rec *Recorder) {
 
 	// Corollary 6.6: no algorithm is stable on the BSP(g) above total rate
 	// p/g, even with perfectly balanced (uniform) traffic.
-	t3 := tablefmt.New("Corollary 6.6: BSP(g) total-rate ceiling p/g = 2 (uniform adversary)",
+	t3 := tablefmt.New(fmt.Sprintf("Corollary 6.6: BSP(g) total-rate ceiling p/g = %d (uniform adversary)", max(p/g, 1)),
 		"α (total rate)", "α·g/p", "stable?", "max backlog")
 	for _, alpha := range []float64{1, 2, 3, 4} {
 		lmt := dynamic.Limits{W: 32, Alpha: alpha, Beta: alpha / float64(p) * 4}
@@ -76,10 +95,10 @@ func runDynBSPg(rec *Recorder) {
 
 func runDynBSPm(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := 32, 8, 2
-	windows := pick(cfg, 200, 50)
-	wW := 64
-	t := tablefmt.New("Algorithm B stability region (p=32, m=8, w=64, uniform adversary)",
+	p, mm, l := rec.Int("p"), rec.Int("m"), rec.Int("l")
+	windows := rec.IntOr("windows", 200, 50)
+	wW := rec.Int("w")
+	t := tablefmt.New(fmt.Sprintf("Algorithm B stability region (p=%d, m=%d, w=%d, uniform adversary)", p, mm, wW),
 		"α", "α/m", "stable?", "max backlog", "mean service", "w bound")
 	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.5} {
 		alpha := frac * float64(mm)
@@ -94,9 +113,9 @@ func runDynBSPm(rec *Recorder) {
 
 	// Service-time comparison against the Claim 6.8 dominating system and
 	// the Theorem 6.7 O(w²/u) bound.
-	u := wW / 4
+	u := max(wW/4, 1)
 	sd := queue.SDoublePrime{W: wW, U: u}
-	t2 := tablefmt.New("Claim 6.8 analytics (w=64, u=16)",
+	t2 := tablefmt.New(fmt.Sprintf("Claim 6.8 analytics (w=%d, u=%d)", wW, u),
 		"quantity", "value")
 	t2.Row("E[S''0] (dominating scaled service)", sd.Mean())
 	t2.Row("paper bound 1.21·w/u", 1.21*float64(wW)/float64(u))
@@ -128,10 +147,10 @@ func runListRankAblation(rec *Recorder) {
 	// n/m term dominates. Pointer jumping moves Θ(n) messages per round
 	// (Θ((n/m)·lg n) total); contraction's geometrically shrinking rounds
 	// pay Θ(n/m + L·lg n), so its advantage grows with n.
-	l, mm := 2, 8
-	t := tablefmt.New("list ranking on BSP(m=8): pointer jumping vs contraction (n = p)",
+	l, mm := rec.Int("l"), rec.Int("m")
+	t := tablefmt.New(fmt.Sprintf("list ranking on BSP(m=%d): pointer jumping vs contraction (n = p)", mm),
 		"n", "pointer jumping", "contraction", "jump/contract")
-	for _, p := range pick(cfg, []int{512, 1024, 4096}, []int{256}) {
+	for _, p := range rec.IntSweep("n", []int{512, 1024, 4096}, []int{256}) {
 		list := randomListFor(cfg.Seed, p)
 		mj := newBSPmL(p, mm, l, cfg.Seed)
 		problemsListRankJump(mj, list)

@@ -21,32 +21,55 @@ func init() {
 		ID:     "sched/qsm-static",
 		Title:  "Unbalanced-Send on the QSM(m) (the paper's reader exercise)",
 		Source: "Section 6 intro: \"the same techniques ... for the QSM(m)\"",
-		run:    runSchedQSM,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (64 full, 32 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (16 full, 8 quick)").Range(0, 1<<16),
+			IntParam("blk", 64, "per-processor address block size").Range(1, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε").Range(0.001, 8),
+		},
+		run: runSchedQSM,
 	})
 	register(Experiment{
 		ID:     "emul/pram-map",
 		Title:  "Generic EREW-PRAM → QSM(m) mapping, O(n/m + t + w/m)",
 		Source: "Section 4 observation",
-		run:    runPRAMMap,
+		Params: []ParamSpec{
+			IntParam("n", 0, "0 = built-in input size (512 full, 128 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in bandwidth sweep; >0 runs one m").Range(0, 1<<16),
+		},
+		run: runPRAMMap,
 	})
 	register(Experiment{
 		ID:     "dyn/phase",
 		Title:  "Dynamic stability phase diagram over (α, β)",
 		Source: "Theorems 6.5 and 6.7 combined",
-		run:    runDynPhase,
+		Params: []ParamSpec{
+			IntParam("p", 16, "processors").Range(2, 1<<16),
+			IntParam("g", 8, "per-processor gap of the BSP(g)").Range(1, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			IntParam("windows", 0, "0 = built-in horizon (100 full, 30 quick)").Range(0, 1<<20),
+		},
+		run: runDynPhase,
 	})
 	register(Experiment{
 		ID:     "coll/pipeline",
 		Title:  "Pipelined k-item broadcast and gather",
 		Source: "collective machinery behind the Table 1 primitives",
-		run:    runPipeline,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			IntParam("k", 0, "0 = built-in sweep over item counts; >0 runs one k").Range(0, 1<<16),
+			IntParam("m", 32, "aggregate bandwidth of the BSP(m) variant").Range(1, 1<<16),
+			IntParam("g", 8, "per-processor gap of the BSP(g) variant").Range(1, 1<<16),
+		},
+		run: runPipeline,
 	})
 }
 
 func runSchedQSM(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, blk := pick(cfg, 64, 32), pick(cfg, 16, 8), 64
-	eps := 0.25
+	p, mm, blk := rec.IntOr("p", 64, 32), rec.IntOr("m", 16, 8), rec.Int("blk")
+	eps := rec.Float("eps")
 	t := tablefmt.New("QSM(m) write scheduling: Unbalanced-Send vs naive (exp penalty)",
 		"skew", "n", "x̄", "scheduled", "naive", "naive/sched", "maxslot", "m")
 	for _, skew := range []float64{0, 0.8, 1.4} {
@@ -86,10 +109,10 @@ func expQSMm(mm int) (c modelCost) {
 
 func runPRAMMap(rec *Recorder) {
 	cfg := rec.Cfg
-	n := pick(cfg, 512, 128)
+	n := rec.IntOr("n", 512, 128)
 	t := tablefmt.New("prefix-doubling summation (t=2·lg n steps, w≈2n·lg n) mapped to the QSM(m)",
 		"n", "m", "QSM time", "t + w/m", "ratio", "overloads")
-	for _, mm := range pick(cfg, []int{2, 4, 8, 16, 32}, []int{2, 8}) {
+	for _, mm := range rec.IntSweep("m", []int{2, 4, 8, 16, 32}, []int{2, 8}) {
 		prog, final := emulate.PrefixDoublingSum(n)
 		m := newQSMmMem(64, 2*n, qsmmLinCost(mm), cfg.Seed)
 		for i := 0; i < n; i++ {
@@ -107,10 +130,10 @@ func runPRAMMap(rec *Recorder) {
 
 func runDynPhase(rec *Recorder) {
 	cfg := rec.Cfg
-	p, g, l := 16, 8, 4
-	mm := p / g
-	windows := pick(cfg, 100, 30)
-	t := tablefmt.New("stability phase diagram (p=16, g=8, m=2, uniform adversary; S=stable, U=unstable)",
+	p, g, l := rec.Int("p"), rec.Int("g"), rec.Int("l")
+	mm := max(p/g, 1)
+	windows := rec.IntOr("windows", 100, 30)
+	t := tablefmt.New(fmt.Sprintf("stability phase diagram (p=%d, g=%d, m=%d, uniform adversary; S=stable, U=unstable)", p, g, mm),
 		"α \\ β", "0.125", "0.25", "0.5", "1.0")
 	for _, alpha := range []float64{0.25, 0.5, 1.0, 2.0} {
 		row := []any{fmt.Sprintf("%.2f", alpha)}
@@ -156,30 +179,31 @@ func verdictChar(stable bool) string {
 
 func runPipeline(rec *Recorder) {
 	cfg := rec.Cfg
-	p, l := pick(cfg, 256, 64), 4
+	p, l := rec.IntOr("p", 256, 64), rec.Int("l")
+	mm, g := rec.Int("m"), rec.Int("g")
 	t := tablefmt.New("k-item pipelined broadcast: pipelined vs k sequential broadcasts",
 		"model", "k", "pipelined", "sequential", "speedup")
-	for _, k := range pick(cfg, []int{8, 32, 128}, []int{8}) {
+	for _, k := range rec.IntSweep("k", []int{8, 32, 128}, []int{8}) {
 		for _, global := range []bool{false, true} {
 			vec := make([]int64, k)
 			var pipe, seq float64
 			var name string
 			if global {
-				name = "BSP(m=32)"
-				mp := newBSPmL(p, 32, l, cfg.Seed)
+				name = fmt.Sprintf("BSP(m=%d)", mm)
+				mp := newBSPmL(p, mm, l, cfg.Seed)
 				collectiveBroadcastVec(mp, vec)
 				pipe = mp.Time()
-				msq := newBSPmL(p, 32, l, cfg.Seed)
+				msq := newBSPmL(p, mm, l, cfg.Seed)
 				for j := 0; j < k; j++ {
 					collectiveBroadcast(msq, int64(j))
 				}
 				seq = msq.Time()
 			} else {
-				name = "BSP(g=8)"
-				mp := newBSPg(p, 8, l, cfg.Seed)
+				name = fmt.Sprintf("BSP(g=%d)", g)
+				mp := newBSPg(p, g, l, cfg.Seed)
 				collectiveBroadcastVec(mp, vec)
 				pipe = mp.Time()
-				msq := newBSPg(p, 8, l, cfg.Seed)
+				msq := newBSPg(p, g, l, cfg.Seed)
 				for j := 0; j < k; j++ {
 					collectiveBroadcast(msq, int64(j))
 				}
@@ -210,13 +234,25 @@ func init() {
 		ID:     "ablation/sort",
 		Title:  "Sorting: splitter-free columnsort vs sample sort across n/p",
 		Source: "DESIGN.md ablation; Table 1 row 5 machinery",
-		run:    runSortAblation,
+		Params: []ParamSpec{
+			IntParam("n", 0, "0 = built-in sweeps over key counts; >0 runs one n in both regimes").Range(0, 1<<20),
+			IntParam("p", 32, "processors of the n ≫ p regime").Range(2, 1<<16),
+			IntParam("m", 8, "aggregate bandwidth of the BSP(m)").Range(1, 1<<16),
+			IntParam("l", 2, "latency/periodicity floor L").Range(0, 1<<16),
+		},
+		run: runSortAblation,
 	})
 	register(Experiment{
 		ID:     "sched/template",
 		Title:  "Template schedules: enforced separation between a processor's sends",
 		Source: "Section 6.1 closing remark (sending-pattern templates)",
-		run:    runTemplate,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (128 full, 32 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (32 full, 8 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε").Range(0.001, 8),
+		},
+		run: runTemplate,
 	})
 }
 
@@ -234,10 +270,10 @@ func runSortAblation(rec *Recorder) {
 
 	// Regime 1: n ≫ p. Sample sort's p² splitter traffic amortizes and its
 	// single routing round beats columnsort's 8-step schedule.
-	p, mm, l := 32, 8, 2
-	t := tablefmt.New("n ≫ p regime: columnsort vs sample sort on BSP(m=8), p=32",
+	p, mm, l := rec.Int("p"), rec.Int("m"), rec.Int("l")
+	t := tablefmt.New(fmt.Sprintf("n ≫ p regime: columnsort vs sample sort on BSP(m=%d), p=%d", mm, p),
 		"n", "n/p", "columnsort", "sample sort", "winner")
-	for _, n := range pick(cfg, []int{1024, 4096, 16384}, []int{256, 1024}) {
+	for _, n := range rec.IntSweep("n", []int{1024, 4096, 16384}, []int{256, 1024}) {
 		rng := xrand.New(cfg.Seed)
 		keys := make([]int64, n)
 		for i := range keys {
@@ -256,9 +292,9 @@ func runSortAblation(rec *Recorder) {
 	// sort's splitter broadcast moves p·(p−1) words — Θ(p²/m) — while
 	// splitter-free columnsort stays near n/m. This is why the paper's
 	// sorting algorithm is columnsort.
-	t2 := tablefmt.New("n = p regime (Table 1): columnsort vs sample sort on BSP(m=8)",
+	t2 := tablefmt.New(fmt.Sprintf("n = p regime (Table 1): columnsort vs sample sort on BSP(m=%d)", mm),
 		"n = p", "columnsort", "sample sort", "samplesort/columnsort", "winner")
-	for _, n := range pick(cfg, []int{1024, 4096}, []int{512}) {
+	for _, n := range rec.IntSweep("n", []int{1024, 4096}, []int{512}) {
 		rng := xrand.New(cfg.Seed)
 		keys := make([]int64, n)
 		for i := range keys {
@@ -283,14 +319,15 @@ func sortWinner(col, smp float64) string {
 
 func runTemplate(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 128, 32), pick(cfg, 32, 8), 4
+	p, mm, l := rec.IntOr("p", 128, 32), rec.IntOr("m", 32, 8), rec.Int("l")
+	eps := rec.Float("eps")
 	rng := xrand.New(cfg.Seed)
 	plan := sched.ZipfPlan(rng, p, p*20, 1.0)
 	t := tablefmt.New("Unbalanced-Send with per-processor separation sep (zipf workload)",
 		"sep", "period", "measured", "offline opt", "maxslot", "overloads")
 	for _, sep := range []int{0, 1, 2, 4} {
 		m := newBSPmExp(p, mm, l, cfg.Seed)
-		r := sched.TemplateSend(m, plan, sep, sched.Options{Eps: 0.25})
+		r := sched.TemplateSend(m, plan, sep, sched.Options{Eps: eps})
 		t.Row(sep, r.Period, r.Time, r.OptimalOffline(mm, l), r.Send.MaxSlot, r.Send.Overload)
 	}
 	rec.Emit(t)
@@ -304,14 +341,19 @@ func init() {
 		ID:     "validate/channels",
 		Title:  "Grounding f^u: schedules on a concrete m-channel contention network",
 		Source: "Section 2 penalty discussion + Section 3 multiple-channel comparison",
-		run:    runChannels,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in source count (64 full, 32 quick)").Range(0, 1<<20),
+			IntParam("per", 0, "0 = built-in per-source load (16 full, 8 quick)").Range(0, 1<<16),
+			IntParam("m", 0, "0 = built-in channel sweep; >0 runs one m").Range(0, 1<<16),
+		},
+		run: runChannels,
 	})
 }
 
 func runChannels(rec *Recorder) {
 	cfg := rec.Cfg
-	p := pick(cfg, 64, 32)
-	per := pick(cfg, 16, 8)
+	p := rec.IntOr("p", 64, 32)
+	per := rec.IntOr("per", 16, 8)
 	x := make([]int, p)
 	for i := range x {
 		x[i] = per
@@ -319,7 +361,7 @@ func runChannels(rec *Recorder) {
 	n := p * per
 	t := tablefmt.New("m-channel slotted-ALOHA network: paced vs burst vs backoff makespan (uniform x_i)",
 		"m", "n", "paced (ε=4)", "burst", "burst+backoff", "burst/paced", "n/(m/e) ideal")
-	for _, mm := range pick(cfg, []int{4, 8, 16}, []int{8}) {
+	for _, mm := range rec.IntSweep("m", []int{4, 8, 16}, []int{8}) {
 		rng := xrand.New(cfg.Seed)
 		eps := 4.0 // target load 0.2·m < ALOHA capacity m/e
 		paced := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
@@ -347,19 +389,28 @@ func init() {
 		ID:     "ablation/combinetree",
 		Title:  "Combine-tree fan-in for the τ term: binary vs L-ary",
 		Source: "DESIGN.md ablation; τ = O(p/m + L + L·lg m/lg L)",
-		run:    runCombineTree,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (4096 full, 512 quick)").Range(0, 1<<20),
+		},
+		run: runCombineTree,
 	})
 	register(Experiment{
 		ID:     "ablation/wraparound",
 		Title:  "Cyclic (wraparound) vs consecutive slot assignment",
 		Source: "DESIGN.md ablation; Theorems 6.2 vs 6.3",
-		run:    runWraparound,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (32 full, 8 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε").Range(0.001, 8),
+		},
+		run: runWraparound,
 	})
 }
 
 func runCombineTree(rec *Recorder) {
 	cfg := rec.Cfg
-	p := pick(cfg, 4096, 512)
+	p := rec.IntOr("p", 4096, 512)
 	t := tablefmt.New("reduction on BSP(m): τ vs tree fan-in d (L-ary is the paper's choice)",
 		"m", "L", "d=2", "d=4", "d=L", "L-ary speedup vs binary")
 	for _, ml := range [][2]int{{64, 16}, {256, 16}, {64, 64}} {
@@ -383,16 +434,17 @@ func runCombineTree(rec *Recorder) {
 
 func runWraparound(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 256, 64), pick(cfg, 32, 8), 4
+	p, mm, l := rec.IntOr("p", 256, 64), rec.IntOr("m", 32, 8), rec.Int("l")
+	eps := rec.Float("eps")
 	t := tablefmt.New("wraparound (Thm 6.2) vs consecutive (Thm 6.3) slot assignment",
 		"workload", "wraparound time", "consecutive time", "consec/wrap", "wrap maxslot", "consec maxslot")
 	rng := xrand.New(cfg.Seed)
 	for _, name := range workloadOrder {
 		plan := workloads(rng, p, 16)[name]
 		mw := newBSPmExp(p, mm, l, cfg.Seed)
-		rw := sched.UnbalancedSend(mw, plan, sched.Options{Eps: 0.25})
+		rw := sched.UnbalancedSend(mw, plan, sched.Options{Eps: eps})
 		mc := newBSPmExp(p, mm, l, cfg.Seed)
-		rc := sched.UnbalancedConsecutiveSend(mc, plan, sched.Options{Eps: 0.25})
+		rc := sched.UnbalancedConsecutiveSend(mc, plan, sched.Options{Eps: eps})
 		t.Row(name, rw.Time, rc.Time, rc.Time/rw.Time, rw.Send.MaxSlot, rc.Send.MaxSlot)
 	}
 	rec.Emit(t)
@@ -403,14 +455,20 @@ func init() {
 		ID:     "async/backpressure",
 		Title:  "Asynchronous BSP(m): flow control replaces explicit scheduling",
 		Source: "Section 1 remark (\"many of our results extend to more asynchronous models\")",
-		run:    runAsync,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (128 full, 32 quick)").Range(0, 1<<20),
+			IntParam("m", 16, "aggregate bandwidth of the BSP(m)").Range(1, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			IntParam("per", 0, "0 = built-in per-processor load (32 full, 8 quick)").Range(0, 1<<16),
+		},
+		run: runAsync,
 	})
 }
 
 func runAsync(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 128, 32), 16, 4
-	per := pick(cfg, 32, 8)
+	p, mm, l := rec.IntOr("p", 128, 32), rec.Int("m"), rec.Int("l")
+	per := rec.IntOr("per", 32, 8)
 	t := tablefmt.New("the same oblivious burst on three machines (uniform, per-proc load)",
 		"machine", "completion", "x-of-offline-bound")
 	n := p * per

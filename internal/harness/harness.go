@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"parbw/internal/engine"
@@ -28,27 +30,95 @@ import (
 // folded into the run-store cache key alongside (experiment id, params,
 // seed), so bumping it invalidates every previously stored run. Bump it
 // whenever any experiment's structured output changes.
-const CodeVersion = "1"
+const CodeVersion = "2"
 
 // Config controls an experiment run.
 type Config struct {
-	Seed  uint64
-	Quick bool // smaller sweeps (used by tests and -quick)
-	CSV   bool // emit CSV instead of aligned tables
+	Seed uint64
+	// Params holds raw parameter overrides by name ("p" → "64"). Unset
+	// parameters take their schema defaults; nil runs every default. Values
+	// are validated against the experiment's ParamSpec schema by Resolve.
+	// The former Quick boolean is the Presets["quick"] overlay.
+	Params map[string]string
+	CSV    bool // emit CSV instead of aligned tables
 	// Observer, if non-nil, receives an engine.StepStats callback for every
 	// superstep of every machine the experiment constructs. It is attached
-	// via the engine's process-global tap for the duration of the run, so it
-	// suits single-run tooling (`bandsim trace`) and tests; concurrent runs
-	// in the same process would observe each other's machines.
+	// via the engine's process-global tap for the duration of the run;
+	// harness.Run serializes observed runs against all other runs in the
+	// process, so an observer sees only its own experiment's machines.
 	Observer engine.Observer
 }
 
-// Recorder collects the structured output of one experiment run. Experiment
-// bodies emit tables, notes, and verdicts through it; they never write to an
-// io.Writer directly.
+// tapMu guards the process-global engine observer tap across concurrent
+// harness.Run calls. Runs that attach an observer take the write lock —
+// exclusive, so they never see another run's machines — while unobserved
+// runs share the read lock and proceed fully in parallel (the service's
+// sweep executor stays concurrent).
+var tapMu sync.RWMutex
+
+// Recorder collects the structured output of one experiment run and hands
+// the experiment body its resolved parameters. Bodies emit tables, notes,
+// and verdicts through it and read parameters via Int/Float/Bool; they never
+// write to an io.Writer directly.
 type Recorder struct {
-	Cfg Config
-	res *result.Result
+	Cfg    Config
+	res    *result.Result
+	expID  string
+	specs  map[string]ParamSpec
+	values Resolved
+}
+
+// param returns the canonical value of a declared parameter, panicking on an
+// undeclared name or kind mismatch — both programming errors in the
+// experiment body, not runtime input errors.
+func (r *Recorder) param(name string, kind ParamKind) string {
+	spec, ok := r.specs[name]
+	if !ok {
+		panic(fmt.Sprintf("harness: experiment %q reads undeclared param %q", r.expID, name))
+	}
+	if spec.Kind != kind {
+		panic(fmt.Sprintf("harness: experiment %q reads param %q as %v but it is declared %v",
+			r.expID, name, kind, spec.Kind))
+	}
+	return r.values[name]
+}
+
+// Int returns the resolved value of a declared int parameter.
+func (r *Recorder) Int(name string) int {
+	n, _ := strconv.ParseInt(r.param(name, KindInt), 10, 64)
+	return int(n)
+}
+
+// Float returns the resolved value of a declared float parameter.
+func (r *Recorder) Float(name string) float64 {
+	f, _ := strconv.ParseFloat(r.param(name, KindFloat), 64)
+	return f
+}
+
+// Bool returns the resolved value of a declared bool parameter.
+func (r *Recorder) Bool(name string) bool {
+	b, _ := strconv.ParseBool(r.param(name, KindBool))
+	return b
+}
+
+// IntOr resolves a sentinel int parameter: a positive value overrides; zero
+// means "use the built-in value" — full normally, quick under the quick
+// preset.
+func (r *Recorder) IntOr(name string, full, quick int) int {
+	if v := r.Int(name); v > 0 {
+		return v
+	}
+	return pick(r.Bool("quick"), full, quick)
+}
+
+// IntSweep resolves a sentinel int parameter controlling a sweep axis: a
+// positive value collapses the sweep to that single point; zero keeps the
+// built-in sweep (full normally, quick under the quick preset).
+func (r *Recorder) IntSweep(name string, full, quick []int) []int {
+	if v := r.Int(name); v > 0 {
+		return []int{v}
+	}
+	return pick(r.Bool("quick"), full, quick)
 }
 
 // Emit records a finished table into the run's structured result.
@@ -68,12 +138,31 @@ type Experiment struct {
 	ID     string // harness id, e.g. "table1/broadcast"
 	Title  string
 	Source string // where in the paper it comes from
+	// Params is the experiment's declared parameter schema. register
+	// prepends the built-in "quick" bool, so every experiment accepts the
+	// quick preset without declaring it.
+	Params []ParamSpec
 	run    func(rec *Recorder)
+
+	specIdx map[string]ParamSpec // name → spec, built at registration
 }
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// register adds an experiment to the registry, prepending the built-in
+// "quick" param and validating the schema. It panics on a duplicate ID — a
+// copy-pasted init() would otherwise silently shadow lookups — and leaves
+// the registry untouched when it does.
+func register(e Experiment) {
+	for _, x := range registry {
+		if x.ID == e.ID {
+			panic(fmt.Sprintf("harness: duplicate experiment id %q", e.ID))
+		}
+	}
+	e.Params = append([]ParamSpec{quickSpec()}, e.Params...)
+	e.specIdx = validateSpecs(e.ID, e.Params)
+	registry = append(registry, e)
+}
 
 // All returns every registered experiment, sorted by ID.
 func All() []Experiment {
@@ -97,7 +186,17 @@ func ByID(id string) (Experiment, bool) {
 // matches ("broadcast" → "table1/broadcast", "lb/broadcast"), and shared
 // prefixes, best first.
 func Suggest(id string) []string {
-	q := strings.ToLower(strings.TrimSpace(id))
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return suggestFrom(id, ids)
+}
+
+// suggestFrom is the scoring core behind Suggest, reused for parameter-name
+// suggestions: up to five candidates most resembling q, best first.
+func suggestFrom(q string, candidates []string) []string {
+	q = strings.ToLower(strings.TrimSpace(q))
 	if q == "" {
 		return nil
 	}
@@ -106,8 +205,8 @@ func Suggest(id string) []string {
 		score int
 	}
 	var matches []scored
-	for _, e := range All() {
-		cand := strings.ToLower(e.ID)
+	for _, id := range candidates {
+		cand := strings.ToLower(id)
 		score := 0
 		switch {
 		case strings.HasPrefix(cand, q):
@@ -127,12 +226,14 @@ func Suggest(id string) []string {
 			for n < len(cand) && n < len(q) && cand[n] == q[n] {
 				n++
 			}
-			if n >= 3 {
+			// Short candidates (param names like "eps") can't reach the
+			// 3-char prefix bar a typo'd last letter leaves; accept 2.
+			if n >= 3 || (n >= 2 && len(cand) <= 4) {
 				score = n
 			}
 		}
 		if score > 0 {
-			matches = append(matches, scored{e.ID, score})
+			matches = append(matches, scored{id, score})
 		}
 	}
 	sort.Slice(matches, func(i, j int) bool {
@@ -154,12 +255,26 @@ func Suggest(id string) []string {
 // Run executes the experiment and returns its structured result. The
 // rendered view (aligned tables, or CSV when cfg.CSV) is written to w; pass
 // nil or io.Discard to run silently.
+//
+// Run panics on invalid cfg.Params — callers taking untrusted parameter
+// input (CLI flags, API requests) must pre-validate with Resolve and report
+// the error themselves.
 func (e Experiment) Run(w io.Writer, cfg Config) *result.Result {
-	res := result.New(e.ID, e.Title, e.Source, result.Params{Seed: cfg.Seed, Quick: cfg.Quick})
-	rec := &Recorder{Cfg: cfg, res: res}
+	vals, err := e.Resolve(cfg.Params)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v (pre-validate with Resolve)", err))
+	}
+	res := result.New(e.ID, e.Title, e.Source, vals.ResultParams(cfg.Seed))
+	rec := &Recorder{Cfg: cfg, res: res, expID: e.ID, specs: e.specIdx, values: vals}
 	if cfg.Observer != nil {
+		// Exclusive: the process-global tap must see only this run's machines.
+		tapMu.Lock()
+		defer tapMu.Unlock()
 		remove := engine.AddGlobalObserver(cfg.Observer)
 		defer remove()
+	} else {
+		tapMu.RLock()
+		defer tapMu.RUnlock()
 	}
 	start := time.Now()
 	e.run(rec)
@@ -184,10 +299,10 @@ func RunAll(w io.Writer, cfg Config) []*result.Result {
 	return out
 }
 
-// pick returns full unless cfg.Quick, then quick.
-func pick[T any](cfg Config, full, quick T) T {
-	if cfg.Quick {
-		return quick
+// pick returns full unless quick.
+func pick[T any](quick bool, full, q T) T {
+	if quick {
+		return q
 	}
 	return full
 }

@@ -54,7 +54,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		t.Run(strings.ReplaceAll(e.ID, "/", "_"), func(t *testing.T) {
 			t.Parallel()
 			var buf bytes.Buffer
-			e.Run(&buf, Config{Seed: 42, Quick: true})
+			e.Run(&buf, Config{Seed: 42, Params: QuickParams()})
 			out := buf.String()
 			if len(out) < 50 {
 				t.Fatalf("experiment %s produced almost no output: %q", e.ID, out)
@@ -69,7 +69,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 func TestCSVMode(t *testing.T) {
 	e, _ := ByID("sched/static")
 	var buf bytes.Buffer
-	e.Run(&buf, Config{Seed: 1, Quick: true, CSV: true})
+	e.Run(&buf, Config{Seed: 1, Params: QuickParams(), CSV: true})
 	if !strings.Contains(buf.String(), ",") {
 		t.Fatal("CSV mode produced no commas")
 	}
@@ -80,7 +80,7 @@ func TestCSVMode(t *testing.T) {
 // JSON bytes. This is the property the content-addressed run store
 // (internal/runstore) and the serve cache depend on.
 func TestGoldenStructuredDeterminism(t *testing.T) {
-	cfg := Config{Seed: 1, Quick: true}
+	cfg := Config{Seed: 1, Params: QuickParams()}
 	for _, e := range All() {
 		e := e
 		t.Run(strings.ReplaceAll(e.ID, "/", "_"), func(t *testing.T) {
@@ -121,7 +121,7 @@ func TestRenderIsViewOverResult(t *testing.T) {
 			t.Fatalf("missing %s", id)
 		}
 		var live bytes.Buffer
-		res := e.Run(&live, Config{Seed: 3, Quick: true})
+		res := e.Run(&live, Config{Seed: 3, Params: QuickParams()})
 		var view bytes.Buffer
 		res.Render(&view, false)
 		if live.String() != view.String() {
@@ -164,8 +164,8 @@ func TestSuggest(t *testing.T) {
 func TestExperimentsDeterministic(t *testing.T) {
 	e, _ := ByID("sched/static")
 	var a, b bytes.Buffer
-	e.Run(&a, Config{Seed: 7, Quick: true})
-	e.Run(&b, Config{Seed: 7, Quick: true})
+	e.Run(&a, Config{Seed: 7, Params: QuickParams()})
+	e.Run(&b, Config{Seed: 7, Params: QuickParams()})
 	if a.String() != b.String() {
 		t.Fatal("same seed produced different output")
 	}
@@ -179,7 +179,7 @@ func TestSeparationDirection(t *testing.T) {
 	for _, id := range []string{"table1/onetoall", "table1/broadcast", "table1/parity"} {
 		e, _ := ByID(id)
 		buf.Reset()
-		e.Run(&buf, Config{Seed: 11, Quick: true})
+		e.Run(&buf, Config{Seed: 11, Params: QuickParams()})
 		out := buf.String()
 		// Separation column entries like "3.10x" must exceed 1 for the
 		// (m) rows; spot-check that at least one x-ratio > 1 appears.

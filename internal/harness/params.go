@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"parbw/internal/result"
+)
+
+// ParamKind is the type of an experiment parameter.
+type ParamKind int
+
+const (
+	KindInt ParamKind = iota
+	KindFloat
+	KindBool
+)
+
+// String returns the schema name of the kind ("int", "float", "bool").
+func (k ParamKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("ParamKind(%d)", int(k))
+}
+
+// ParamSpec declares one typed parameter of an experiment: its name, kind,
+// canonical default, numeric bounds (inclusive; ±Inf when unbounded), and a
+// one-line doc string. Schemas are validated at registration time and drive
+// central defaulting + validation in Resolve, the GET /v1/experiments
+// discovery endpoint, and the EXPERIMENTS.md parameter tables.
+//
+// Integer parameters whose doc starts with "0 = " use zero as a sentinel
+// meaning "use the experiment's built-in value or sweep"; any positive value
+// overrides it (a built-in sweep collapses to that single point).
+type ParamSpec struct {
+	Name    string
+	Kind    ParamKind
+	Default string // canonical encoding (FormatInt / FormatFloat 'g' / FormatBool)
+	Min     float64
+	Max     float64
+	Doc     string
+}
+
+// IntParam declares an int parameter, unbounded until Range is applied.
+func IntParam(name string, def int, doc string) ParamSpec {
+	return ParamSpec{Name: name, Kind: KindInt, Default: strconv.FormatInt(int64(def), 10),
+		Min: math.Inf(-1), Max: math.Inf(1), Doc: doc}
+}
+
+// FloatParam declares a float parameter, unbounded until Range is applied.
+func FloatParam(name string, def float64, doc string) ParamSpec {
+	return ParamSpec{Name: name, Kind: KindFloat, Default: strconv.FormatFloat(def, 'g', -1, 64),
+		Min: math.Inf(-1), Max: math.Inf(1), Doc: doc}
+}
+
+// BoolParam declares a bool parameter.
+func BoolParam(name string, def bool, doc string) ParamSpec {
+	return ParamSpec{Name: name, Kind: KindBool, Default: strconv.FormatBool(def),
+		Min: math.Inf(-1), Max: math.Inf(1), Doc: doc}
+}
+
+// Range returns a copy of the spec with inclusive numeric bounds.
+func (s ParamSpec) Range(min, max float64) ParamSpec {
+	s.Min, s.Max = min, max
+	return s
+}
+
+// quickSpec is the built-in parameter every experiment carries: the small
+// sweeps used by tests and the -quick flag. register prepends it, so
+// experiment declarations never list it themselves.
+func quickSpec() ParamSpec {
+	return BoolParam("quick", false, "smaller parameter sweeps (the -quick preset)")
+}
+
+// Presets are named parameter overlays selectable by flag or API. The -quick
+// boolean of earlier revisions is now just the "quick" preset.
+var Presets = map[string]map[string]string{
+	"quick": {"quick": "true"},
+}
+
+// QuickParams returns a fresh copy of the quick preset — the common "small
+// sweeps" configuration used by tests and tooling.
+func QuickParams() map[string]string {
+	out := make(map[string]string, len(Presets["quick"]))
+	for k, v := range Presets["quick"] {
+		out[k] = v
+	}
+	return out
+}
+
+// UnknownParamError reports a raw parameter name not declared by the
+// experiment's schema, with did-you-mean suggestions from the declared names.
+type UnknownParamError struct {
+	Experiment  string
+	Name        string
+	Suggestions []string
+}
+
+func (e *UnknownParamError) Error() string {
+	msg := fmt.Sprintf("experiment %q has no parameter %q", e.Experiment, e.Name)
+	if len(e.Suggestions) > 0 {
+		msg += fmt.Sprintf(" (did you mean %v?)", e.Suggestions)
+	}
+	return msg
+}
+
+// ParamValueError reports a declared parameter given an unparseable or
+// out-of-range value.
+type ParamValueError struct {
+	Experiment string
+	Name       string
+	Value      string
+	Reason     string
+}
+
+func (e *ParamValueError) Error() string {
+	return fmt.Sprintf("experiment %q parameter %s=%q: %s", e.Experiment, e.Name, e.Value, e.Reason)
+}
+
+// Resolved is a fully validated parameter assignment: every declared
+// parameter mapped to its canonical string encoding. Equal assignments have
+// equal canonical strings regardless of the spelling ("0.250" vs "0.25") or
+// map order of the raw input — the property the content-addressed run store
+// keys on.
+type Resolved map[string]string
+
+// ResultParams folds the assignment and seed into the result.Params that
+// identifies the run.
+func (r Resolved) ResultParams(seed uint64) result.Params {
+	return result.NewParams(seed, r)
+}
+
+// Canonical renders the assignment as "k=v,k=v" in name order.
+func (r Resolved) Canonical() string {
+	return result.NewParams(0, r).Canonical()
+}
+
+// Resolve validates raw overrides against the experiment's schema and
+// returns the full canonical assignment (defaults applied, values
+// normalized). Unknown names yield *UnknownParamError with suggestions;
+// malformed or out-of-range values yield *ParamValueError.
+func (e Experiment) Resolve(raw map[string]string) (Resolved, error) {
+	out := make(Resolved, len(e.Params))
+	for _, s := range e.Params {
+		out[s.Name] = s.Default
+	}
+	// Deterministic error selection: report the alphabetically first bad name.
+	names := make([]string, 0, len(raw))
+	for name := range raw {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec, ok := e.specIdx[name]
+		if !ok {
+			declared := make([]string, 0, len(e.Params))
+			for _, s := range e.Params {
+				declared = append(declared, s.Name)
+			}
+			return nil, &UnknownParamError{
+				Experiment:  e.ID,
+				Name:        name,
+				Suggestions: suggestFrom(name, declared),
+			}
+		}
+		canon, err := canonicalize(spec, raw[name])
+		if err != nil {
+			return nil, &ParamValueError{Experiment: e.ID, Name: name, Value: raw[name], Reason: err.Error()}
+		}
+		out[name] = canon
+	}
+	return out, nil
+}
+
+// canonicalize parses v per the spec's kind, checks bounds, and returns the
+// canonical encoding.
+func canonicalize(spec ParamSpec, v string) (string, error) {
+	switch spec.Kind {
+	case KindInt:
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("not an integer")
+		}
+		if err := checkRange(spec, float64(n)); err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(n, 10), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return "", fmt.Errorf("not a number")
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return "", fmt.Errorf("must be finite")
+		}
+		if err := checkRange(spec, f); err != nil {
+			return "", err
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64), nil
+	case KindBool:
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return "", fmt.Errorf("not a boolean")
+		}
+		return strconv.FormatBool(b), nil
+	}
+	return "", fmt.Errorf("unknown kind %v", spec.Kind)
+}
+
+func checkRange(spec ParamSpec, f float64) error {
+	if f < spec.Min || f > spec.Max {
+		return fmt.Errorf("out of range [%s, %s]", boundStr(spec.Min), boundStr(spec.Max))
+	}
+	return nil
+}
+
+func boundStr(b float64) string {
+	if math.IsInf(b, -1) {
+		return "-inf"
+	}
+	if math.IsInf(b, 1) {
+		return "+inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// validateSpecs panics on a malformed schema at registration time: duplicate
+// or empty names, a reserved name colliding with the built-in quick param, or
+// a default that fails its own validation.
+func validateSpecs(id string, specs []ParamSpec) map[string]ParamSpec {
+	idx := make(map[string]ParamSpec, len(specs))
+	for _, s := range specs {
+		if s.Name == "" {
+			panic(fmt.Sprintf("harness: experiment %q declares a param with an empty name", id))
+		}
+		if _, dup := idx[s.Name]; dup {
+			panic(fmt.Sprintf("harness: experiment %q declares duplicate param %q", id, s.Name))
+		}
+		if _, err := canonicalize(s, s.Default); err != nil {
+			panic(fmt.Sprintf("harness: experiment %q param %q default %q invalid: %v", id, s.Name, s.Default, err))
+		}
+		idx[s.Name] = s
+	}
+	return idx
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 
 	"parbw/internal/bsp"
 	"parbw/internal/lower"
@@ -15,43 +16,84 @@ func init() {
 		ID:     "sched/static",
 		Title:  "Unbalanced-Send on skewed h-relations",
 		Source: "Theorem 6.2 and Proposition 6.1",
-		run:    runSchedStatic,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (64 full, 16 quick)").Range(0, 1<<16),
+			IntParam("l", 8, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε of Theorem 6.2").Range(0.001, 8),
+		},
+		run: runSchedStatic,
 	})
 	register(Experiment{
 		ID:     "sched/consecutive",
 		Title:  "Unbalanced-Consecutive-Send",
 		Source: "Theorem 6.3",
-		run:    runSchedConsecutive,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (32 full, 8 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε").Range(0.001, 8),
+		},
+		run: runSchedConsecutive,
 	})
 	register(Experiment{
 		ID:     "sched/granular",
 		Title:  "Unbalanced-Granular-Send",
 		Source: "Theorem 6.4",
-		run:    runSchedGranular,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (512 full, 128 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (16 full, 8 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			IntParam("c", 4, "period constant c of the granular schedule").Range(1, 64),
+		},
+		run: runSchedGranular,
 	})
 	register(Experiment{
 		ID:     "sched/flits",
 		Title:  "Long messages (consecutive flits) and per-message overhead o",
 		Source: "Section 6.1 (final remarks)",
-		run:    runSchedFlits,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (128 full, 32 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (32 full, 8 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε").Range(0.001, 8),
+		},
+		run: runSchedFlits,
 	})
 	register(Experiment{
 		ID:     "sched/selfsched",
 		Title:  "Self-scheduling BSP(m) realized on the BSP(m)",
 		Source: "Section 2 (simplified cost metric) + Theorem 6.2",
-		run:    runSelfSched,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (64 full, 16 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε / (1+ε) ratio target").Range(0.001, 8),
+		},
+		run: runSelfSched,
 	})
 	register(Experiment{
 		ID:     "ablation/penalty",
 		Title:  "Value of scheduling under linear vs exponential penalty",
 		Source: "DESIGN.md ablation; Section 2 penalty discussion",
-		run:    runPenaltyAblation,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in aggregate bandwidth (16 full, 8 quick)").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+			FloatParam("eps", 0.25, "schedule slack ε").Range(0.001, 8),
+		},
+		run: runPenaltyAblation,
 	})
 	register(Experiment{
 		ID:     "ablation/eps",
 		Title:  "ε sweep: overload probability vs schedule slack",
 		Source: "Theorem 6.2's Chernoff analysis",
-		run:    runEpsAblation,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in bandwidth sweep; >0 runs one m").Range(0, 1<<16),
+			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
+		},
+		run: runEpsAblation,
 	})
 }
 
@@ -69,9 +111,9 @@ var workloadOrder = []string{"uniform", "zipf", "halfhalf", "point"}
 
 func runSchedStatic(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 256, 64), pick(cfg, 64, 16), 8
-	g := p / mm
-	eps := 0.25
+	p, mm, l := rec.IntOr("p", 256, 64), rec.IntOr("m", 64, 16), rec.Int("l")
+	g := max(p/mm, 1)
+	eps := rec.Float("eps")
 	rng := xrand.New(cfg.Seed)
 	t := tablefmt.New("Unbalanced-Send vs offline optimum and BSP(g) (p=256, m=64, exp penalty)",
 		"workload", "n", "x̄", "ȳ", "measured", "offline opt", "Thm6.2 bound", "BSP(g) Θ(g(x̄+ȳ))", "maxslot", "overloads")
@@ -89,8 +131,8 @@ func runSchedStatic(rec *Recorder) {
 
 func runSchedConsecutive(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 256, 64), pick(cfg, 32, 8), 4
-	eps := 0.25
+	p, mm, l := rec.IntOr("p", 256, 64), rec.IntOr("m", 32, 8), rec.Int("l")
+	eps := rec.Float("eps")
 	rng := xrand.New(cfg.Seed)
 	t := tablefmt.New("Unbalanced-Consecutive-Send (all flits of a sender contiguous)",
 		"workload", "n", "x̄", "measured", "Thm6.3 bound", "maxslot", "overloads")
@@ -107,19 +149,20 @@ func runSchedConsecutive(rec *Recorder) {
 
 func runSchedGranular(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 512, 128), pick(cfg, 16, 8), 4
+	p, mm, l := rec.IntOr("p", 512, 128), rec.IntOr("m", 16, 8), rec.Int("l")
+	c := rec.Int("c")
 	rng := xrand.New(cfg.Seed)
-	t := tablefmt.New("Unbalanced-Granular-Send (granularity t' = n/p, period c·n/m, c=4)",
+	t := tablefmt.New(fmt.Sprintf("Unbalanced-Granular-Send (granularity t' = n/p, period c·n/m, c=%d)", c),
 		"workload", "n", "t'", "measured", "c·n/m + x̄", "maxslot", "overloads")
 	for _, name := range workloadOrder {
 		plan := workloads(rng, p, 8)[name]
 		m := newBSPmExp(p, mm, l, cfg.Seed)
-		r := sched.UnbalancedGranularSend(m, plan, sched.Options{GranularC: 4})
+		r := sched.UnbalancedGranularSend(m, plan, sched.Options{GranularC: float64(c)})
 		tg := r.N / p
 		if tg < 1 {
 			tg = 1
 		}
-		bound := 4*float64(r.N)/float64(mm) + float64(r.XBar) + r.Tau
+		bound := float64(c)*float64(r.N)/float64(mm) + float64(r.XBar) + r.Tau
 		t.Row(name, r.N, tg, r.Time, bound, r.Send.MaxSlot, r.Send.Overload)
 	}
 	rec.Emit(t)
@@ -127,8 +170,8 @@ func runSchedGranular(rec *Recorder) {
 
 func runSchedFlits(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 128, 32), pick(cfg, 32, 8), 4
-	eps := 0.25
+	p, mm, l := rec.IntOr("p", 128, 32), rec.IntOr("m", 32, 8), rec.Int("l")
+	eps := rec.Float("eps")
 	rng := xrand.New(cfg.Seed)
 	base := sched.UnbalancedExchangePlan(rng, p, 6) // lengths 1..6
 	t := tablefmt.New("long messages and startup overhead o (unbalanced total exchange, ℓ ≤ 6)",
@@ -153,8 +196,8 @@ func runSchedFlits(rec *Recorder) {
 
 func runSelfSched(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 256, 64), pick(cfg, 64, 16), 4
-	eps := 0.25
+	p, mm, l := rec.IntOr("p", 256, 64), rec.IntOr("m", 64, 16), rec.Int("l")
+	eps := rec.Float("eps")
 	rng := xrand.New(cfg.Seed)
 	t := tablefmt.New("self-scheduling BSP(m) metric vs realized BSP(m) schedule",
 		"workload", "self-sched time", "BSP(m) measured", "ratio", "(1+ε) target")
@@ -171,7 +214,8 @@ func runSelfSched(rec *Recorder) {
 
 func runPenaltyAblation(rec *Recorder) {
 	cfg := rec.Cfg
-	p, mm, l := pick(cfg, 256, 64), pick(cfg, 16, 8), 4
+	p, mm, l := rec.IntOr("p", 256, 64), rec.IntOr("m", 16, 8), rec.Int("l")
+	eps := rec.Float("eps")
 	rng := xrand.New(cfg.Seed)
 	plan := sched.UniformPlan(rng, p, 32)
 	t := tablefmt.New("naive (all inject at step 0) vs Unbalanced-Send under both penalties",
@@ -185,7 +229,7 @@ func runPenaltyAblation(rec *Recorder) {
 		{"exponential f^u", func() *bsp.Machine { return newBSPmExp(p, mm, l, cfg.Seed) }},
 	} {
 		naive := sched.NaiveSend(pc.mk(), plan)
-		schd := sched.UnbalancedSend(pc.mk(), plan, sched.Options{Eps: 0.25})
+		schd := sched.UnbalancedSend(pc.mk(), plan, sched.Options{Eps: eps})
 		t.Row(pc.name, naive.Time, schd.Time, naive.Time/schd.Time)
 	}
 	rec.Emit(t)
@@ -193,11 +237,11 @@ func runPenaltyAblation(rec *Recorder) {
 
 func runEpsAblation(rec *Recorder) {
 	cfg := rec.Cfg
-	p, l := pick(cfg, 256, 64), 4
+	p, l := rec.IntOr("p", 256, 64), rec.Int("l")
 	rng := xrand.New(cfg.Seed)
 	t := tablefmt.New("ε sweep: slack vs overload (zipf workload, exp penalty)",
 		"m", "ε", "period", "measured", "offline opt", "maxslot", "overloads")
-	for _, mm := range pick(cfg, []int{16, 64}, []int{16}) {
+	for _, mm := range rec.IntSweep("m", []int{16, 64}, []int{16}) {
 		plan := sched.ZipfPlan(rng, p, p*16, 1.1)
 		for _, eps := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
 			m := newBSPmExp(p, mm, l, cfg.Seed)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 
 	"parbw/internal/bsp"
 	"parbw/internal/collective"
@@ -19,31 +20,52 @@ func init() {
 		ID:     "lb/broadcast",
 		Title:  "Broadcast lower bound vs the ternary non-receipt algorithm",
 		Source: "Theorem 4.1 and the Section 4.2 algorithm",
-		run:    runBroadcastLB,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in sweep over machine sizes (ternary table)").Range(0, 1<<20),
+			IntParam("p2", 0, "0 = built-in size of the tree-broadcast table (4096 full, 256 quick)").Range(0, 1<<20),
+		},
+		run: runBroadcastLB,
 	})
 	register(Experiment{
 		ID:     "lb/hrelation-crcw",
 		Title:  "Realizing h-relations on the CRCW PRAM in O(h)",
 		Source: "Section 4.1 (lower-bound conversion machinery)",
-		run:    runHRelationCRCW,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (64 full, 16 quick)").Range(0, 1<<20),
+			IntParam("h", 0, "0 = built-in sweep over relation degrees; >0 runs one h").Range(0, 1<<16),
+		},
+		run: runHRelationCRCW,
 	})
 	register(Experiment{
 		ID:     "sim/crcw-pramm",
 		Title:  "Simulating a CRCW PRAM(m) read step on the QSM(m)",
 		Source: "Theorem 5.1",
-		run:    runCRCWSim,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (1024 full, 128 quick)").Range(0, 1<<20),
+			IntParam("m", 0, "0 = built-in bandwidth sweep; >0 runs one m").Range(0, 1<<16),
+			IntParam("cells", 64, "shared PRAM(m) cells simulated").Range(1, 1<<16),
+		},
+		run: runCRCWSim,
 	})
 	register(Experiment{
 		ID:     "sep/leader",
 		Title:  "Leader recognition: concurrent vs exclusive read",
 		Source: "Theorem 5.2 / Lemma 5.3",
-		run:    runLeader,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in sweep over machine sizes; >0 runs one p").Range(0, 1<<20),
+			IntParam("m", 4, "shared-memory cells / aggregate bandwidth m").Range(1, 1<<16),
+		},
+		run: runLeader,
 	})
 	register(Experiment{
 		ID:     "emul/group",
 		Title:  "Group emulation of BSP(g) supersteps on the BSP(m)",
 		Source: "Section 4 (grouping observation)",
-		run:    runGroupEmul,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (256 full, 64 quick)").Range(0, 1<<20),
+			IntParam("l", 8, "latency/periodicity floor L").Range(0, 1<<16),
+		},
+		run: runGroupEmul,
 	})
 }
 
@@ -55,7 +77,7 @@ func runBroadcastLB(rec *Recorder) {
 	cfg := rec.Cfg
 	t := tablefmt.New("single-bit broadcast on BSP(g): ternary algorithm vs Theorem 4.1 lower bound",
 		"p", "g", "L", "ternary measured", "alg predicted g·⌈log3 p⌉", "Thm4.1 LB", "measured/LB")
-	ps := pick(cfg, []int{81, 729, 6561}, []int{27, 243})
+	ps := rec.IntSweep("p", []int{81, 729, 6561}, []int{27, 243})
 	for _, p := range ps {
 		for _, gl := range [][2]int{{8, 8}, {16, 8}, {32, 4}} {
 			g, l := gl[0], gl[1]
@@ -70,7 +92,7 @@ func runBroadcastLB(rec *Recorder) {
 
 	t2 := tablefmt.New("tree broadcast vs Theorem 4.1 lower bound across L/g",
 		"p", "g", "L", "tree measured", "Thm4.1 LB", "measured/LB")
-	p := pick(cfg, 4096, 256)
+	p := rec.IntOr("p2", 4096, 256)
 	for _, gl := range [][2]int{{1, 2}, {2, 8}, {4, 32}, {8, 128}} {
 		g, l := gl[0], gl[1]
 		m := newBSPg(p, g, l, cfg.Seed)
@@ -83,10 +105,10 @@ func runBroadcastLB(rec *Recorder) {
 
 func runHRelationCRCW(rec *Recorder) {
 	cfg := rec.Cfg
-	p := pick(cfg, 64, 16)
+	p := rec.IntOr("p", 64, 16)
 	t := tablefmt.New("h-relation realization on Arbitrary-CRCW PRAM (p=64)",
 		"h (degree)", "rounds", "PRAM steps", "steps/h")
-	for _, h := range pick(cfg, []int{1, 2, 4, 8, 16, 32, 63}, []int{1, 4, 15}) {
+	for _, h := range rec.IntSweep("h", []int{1, 2, 4, 8, 16, 32, 63}, []int{1, 4, 15}) {
 		// Each processor sends h messages to cyclically shifted targets, so
 		// every processor also receives exactly h: degree = h exactly.
 		plan := make([][]problems.HRelationMsg, p)
@@ -106,7 +128,7 @@ func runHRelationCRCW(rec *Recorder) {
 	// O(lg p · lg(x̄p)). The crossover is the reason the paper gives both.
 	t2 := tablefmt.New("§4.1 routes compared: contention resolution vs sort-based (p=16, single hot target)",
 		"h", "contention steps", "radix-sort steps", "winner")
-	for _, h := range pick(cfg, []int{1, 4, 16, 64}, []int{1, 16}) {
+	for _, h := range rec.IntSweep("h", []int{1, 4, 16, 64}, []int{1, 16}) {
 		plan := make([][]problems.HRelationMsg, 16)
 		for i := range plan {
 			for j := 0; j < h; j++ {
@@ -128,11 +150,11 @@ func runHRelationCRCW(rec *Recorder) {
 
 func runCRCWSim(rec *Recorder) {
 	cfg := rec.Cfg
-	p := pick(cfg, 1024, 128)
-	cells := 64
+	p := rec.IntOr("p", 1024, 128)
+	cells := rec.Int("cells")
 	t := tablefmt.New("one CRCW PRAM(m) read step on the QSM(m): measured vs Θ(p/m)",
 		"p", "m", "pattern", "measured", "p/m", "ratio")
-	for _, mm := range pick(cfg, []int{2, 4, 8, 16, 32}, []int{2, 8}) {
+	for _, mm := range rec.IntSweep("m", []int{2, 4, 8, 16, 32}, []int{2, 8}) {
 		for _, pattern := range []string{"random", "all-same", "distinct"} {
 			pmKind := emulate.PRAMm{Base: p, MCells: cells}
 			mem := pmKind.Base + cells + 2*p + p + 8
@@ -164,10 +186,10 @@ func runCRCWSim(rec *Recorder) {
 
 func runLeader(rec *Recorder) {
 	cfg := rec.Cfg
-	mm := 4
-	t := tablefmt.New("leader recognition, CR PRAM(m) vs ER PRAM(m) vs QSM(m) (m=4, w=64)",
+	mm := rec.Int("m")
+	t := tablefmt.New(fmt.Sprintf("leader recognition, CR PRAM(m) vs ER PRAM(m) vs QSM(m) (m=%d, w=64)", mm),
 		"p", "CR steps", "ER steps", "QSM(m) time", "ER/CR", "paper separation Ω(p·lg m/(m·lg p))")
-	for _, p := range pick(cfg, []int{64, 256, 1024, 4096}, []int{64, 256}) {
+	for _, p := range rec.IntSweep("p", []int{64, 256, 1024, 4096}, []int{64, 256}) {
 		leader := p / 3
 		cr := pram.New(pram.Config{P: p, Mem: mm, Mode: pram.CRCWArbitrary,
 			ROM: problems.LeaderInput(p, leader), Seed: cfg.Seed})
@@ -185,7 +207,7 @@ func runLeader(rec *Recorder) {
 
 func runGroupEmul(rec *Recorder) {
 	cfg := rec.Cfg
-	p, l := pick(cfg, 256, 64), 8
+	p, l := rec.IntOr("p", 256, 64), rec.Int("l")
 	t := tablefmt.New("h-relation superstep: BSP(g) vs group-emulated BSP(m), m=p/g",
 		"g", "h", "BSP(g) time", "BSP(m) emulated", "max slot load", "m")
 	for _, g := range []int{2, 4, 8, 16} {

@@ -15,7 +15,10 @@ func init() {
 		ID:     "table1/summary",
 		Title:  "Table 1, measured: all five rows in the paper's shape",
 		Source: "Table 1",
-		run:    runTable1Summary,
+		Params: []ParamSpec{
+			IntParam("p", 0, "0 = built-in size (4096 full, 256 quick)").Range(0, 1<<20),
+		},
+		run: runTable1Summary,
 	})
 }
 
@@ -26,7 +29,7 @@ func init() {
 // row's separation regime).
 func runTable1Summary(rec *Recorder) {
 	cfg := rec.Cfg
-	p := pick(cfg, 4096, 256)
+	p := rec.IntOr("p", 4096, 256)
 	t := tablefmt.New(fmt.Sprintf("Table 1 (measured, n = p = %d, m = p/g)", p),
 		"problem", "params", "strong model", "weak model", "measured sep", "paper separation (n=p)")
 	wins := 0

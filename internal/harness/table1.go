@@ -39,47 +39,63 @@ func newQSMmL(p, mem, m int, seed uint64) *qsm.Machine {
 	return qsm.New(qsm.Config{P: p, Mem: mem, Cost: c, Seed: seed})
 }
 
+// table1Params is the shared schema shape of the five Table 1 rows: the
+// swept machine size plus the (g, L) point the row's separation regime
+// needs. Defaults reproduce the paper's configuration for the row.
+func table1Params(g, l int) []ParamSpec {
+	return []ParamSpec{
+		IntParam("p", 0, "0 = built-in sweep over machine sizes; >0 runs one size").Range(0, 1<<20),
+		IntParam("g", g, "per-processor gap of the locally-limited models").Range(1, 1<<20),
+		IntParam("l", l, "latency/periodicity floor L").Range(0, 1<<20),
+	}
+}
+
 func init() {
 	register(Experiment{
 		ID:     "table1/onetoall",
 		Title:  "One-to-all personalized communication",
 		Source: "Table 1 row 1; Section 1 motivating example",
+		Params: table1Params(16, 8),
 		run:    runOneToAll,
 	})
 	register(Experiment{
 		ID:     "table1/broadcast",
 		Title:  "Broadcasting one value to p processors",
 		Source: "Table 1 row 2",
+		Params: table1Params(8, 32),
 		run:    runBroadcastRow,
 	})
 	register(Experiment{
 		ID:     "table1/parity",
 		Title:  "Parity and summation of n = p values",
 		Source: "Table 1 row 3",
+		Params: table1Params(16, 16),
 		run:    runParityRow,
 	})
 	register(Experiment{
 		ID:     "table1/listrank",
 		Title:  "List ranking an n = p node list",
 		Source: "Table 1 row 4",
+		Params: table1Params(32, 2),
 		run:    runListRankRow,
 	})
 	register(Experiment{
 		ID:     "table1/sort",
 		Title:  "Sorting n = p keys",
 		Source: "Table 1 row 5",
+		Params: table1Params(16, 8),
 		run:    runSortRow,
 	})
 }
 
 func runOneToAll(rec *Recorder) {
 	cfg := rec.Cfg
-	g, l := 16, 8
-	ps := pick(cfg, []int{256, 1024, 4096}, []int{64, 256})
-	t := tablefmt.New("one-to-all: measured vs predicted (g=16, m=p/g, L=8)",
+	g, l := rec.Int("g"), rec.Int("l")
+	ps := rec.IntSweep("p", []int{256, 1024, 4096}, []int{64, 256})
+	t := tablefmt.New(fmt.Sprintf("one-to-all: measured vs predicted (g=%d, m=p/g, L=%d)", g, l),
 		"p", "model", "measured", "predicted", "ratio", "separation")
 	for _, p := range ps {
-		m := p / g
+		m := max(p/g, 1)
 		vals := make([]int64, p)
 		for i := range vals {
 			vals[i] = int64(i)
@@ -109,12 +125,12 @@ func runOneToAll(rec *Recorder) {
 
 func runBroadcastRow(rec *Recorder) {
 	cfg := rec.Cfg
-	g, l := 8, 32
-	ps := pick(cfg, []int{256, 1024, 4096, 16384}, []int{64, 256})
-	t := tablefmt.New("broadcast: measured vs predicted (g=8, m=p/g, L=32)",
+	g, l := rec.Int("g"), rec.Int("l")
+	ps := rec.IntSweep("p", []int{256, 1024, 4096, 16384}, []int{64, 256})
+	t := tablefmt.New(fmt.Sprintf("broadcast: measured vs predicted (g=%d, m=p/g, L=%d)", g, l),
 		"p", "model", "measured", "predicted", "ratio", "separation")
 	for _, p := range ps {
-		m := p / g
+		m := max(p/g, 1)
 
 		lb := newBSPg(p, g, l, cfg.Seed)
 		collective.BroadcastBSP(lb, 0, 7)
@@ -140,12 +156,12 @@ func runBroadcastRow(rec *Recorder) {
 
 func runParityRow(rec *Recorder) {
 	cfg := rec.Cfg
-	g, l := 16, 16
-	ps := pick(cfg, []int{256, 1024, 4096}, []int{64, 256})
-	t := tablefmt.New("parity of n=p bits: measured vs predicted (g=16, m=p/g, L=16)",
+	g, l := rec.Int("g"), rec.Int("l")
+	ps := rec.IntSweep("p", []int{256, 1024, 4096}, []int{64, 256})
+	t := tablefmt.New(fmt.Sprintf("parity of n=p bits: measured vs predicted (g=%d, m=p/g, L=%d)", g, l),
 		"n=p", "model", "measured", "predicted", "ratio", "separation")
 	for _, p := range ps {
-		m := p / g
+		m := max(p/g, 1)
 		rng := xrand.New(cfg.Seed)
 		bits := make([]int64, p)
 		for i := range bits {
@@ -179,12 +195,12 @@ func runListRankRow(rec *Recorder) {
 	cfg := rec.Cfg
 	// g ≫ L: the row-4 separation vanishes when the latency floor L
 	// dominates the per-round cost of both models.
-	g, l := 32, 2
-	ps := pick(cfg, []int{512, 1024, 2048}, []int{64, 128})
-	t := tablefmt.New("list ranking n=p nodes (contraction): measured vs predicted (g=32, m=p/g, L=2)",
+	g, l := rec.Int("g"), rec.Int("l")
+	ps := rec.IntSweep("p", []int{512, 1024, 2048}, []int{64, 128})
+	t := tablefmt.New(fmt.Sprintf("list ranking n=p nodes (contraction): measured vs predicted (g=%d, m=p/g, L=%d)", g, l),
 		"n=p", "model", "measured", "predicted", "ratio", "separation")
 	for _, p := range ps {
-		m := p / g
+		m := max(p/g, 1)
 		rng := xrand.New(cfg.Seed)
 		list := problems.RandomList(rng, p)
 
@@ -212,12 +228,12 @@ func runListRankRow(rec *Recorder) {
 
 func runSortRow(rec *Recorder) {
 	cfg := rec.Cfg
-	g, l := 16, 8
-	ps := pick(cfg, []int{512, 1024, 4096}, []int{128, 512})
-	t := tablefmt.New("sorting n=p keys (columnsort): measured vs predicted (g=16, m=p/g, L=8)",
+	g, l := rec.Int("g"), rec.Int("l")
+	ps := rec.IntSweep("p", []int{512, 1024, 4096}, []int{128, 512})
+	t := tablefmt.New(fmt.Sprintf("sorting n=p keys (columnsort): measured vs predicted (g=%d, m=p/g, L=%d)", g, l),
 		"n=p", "model", "q", "measured", "predicted", "ratio", "separation")
 	for _, p := range ps {
-		m := p / g
+		m := max(p/g, 1)
 		// Sorter count: depth-1 columnsort shape (q ≈ (n/2)^{1/3}) so the
 		// recursion constant is fixed across the sweep.
 		q := 1

@@ -11,20 +11,68 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 
 	"parbw/internal/tablefmt"
 )
 
 // SchemaVersion is bumped whenever the JSON shape of Result changes, so
 // stored runs from an older schema never alias current ones.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
-// Params identifies one run of one experiment. Together with the experiment
-// id and the harness code version it is the cache key of the run store.
+// Param is one resolved experiment parameter. Value is the canonical string
+// encoding produced by the harness resolver (strconv.FormatInt /
+// FormatFloat(-1) / FormatBool), so equal values always have equal bytes.
+type Param struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Params identifies one run of one experiment: the seed plus the full
+// resolved parameter set, sorted by name. Together with the experiment id and
+// the harness code version it is the cache key of the run store.
 type Params struct {
-	Seed  uint64 `json:"seed"`
-	Quick bool   `json:"quick"`
+	Seed   uint64  `json:"seed"`
+	Values []Param `json:"values"`
+}
+
+// NewParams returns Params with the given resolved values sorted by name, so
+// the JSON encoding is independent of the caller's map iteration order.
+func NewParams(seed uint64, values map[string]string) Params {
+	ps := make([]Param, 0, len(values))
+	for k, v := range values {
+		ps = append(ps, Param{Name: k, Value: v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return Params{Seed: seed, Values: ps}
+}
+
+// Get returns the value of the named param and whether it is present.
+func (p Params) Get(name string) (string, bool) {
+	for _, kv := range p.Values {
+		if kv.Name == name {
+			return kv.Value, true
+		}
+	}
+	return "", false
+}
+
+// Canonical renders the parameter set as "k=v,k=v" in name order — the form
+// folded into run-store cache keys and bench fingerprints. The seed is not
+// included; it is a separate key component.
+func (p Params) Canonical() string {
+	var b strings.Builder
+	for i, kv := range p.Values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv.Name)
+		b.WriteByte('=')
+		b.WriteString(kv.Value)
+	}
+	return b.String()
 }
 
 // Table is one named-column table of an experiment report. Cells are kept as

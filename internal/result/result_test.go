@@ -9,7 +9,7 @@ import (
 )
 
 func sample() *Result {
-	r := New("table1/demo", "Demo", "Table 1", Params{Seed: 7, Quick: true})
+	r := New("table1/demo", "Demo", "Table 1", NewParams(7, map[string]string{"quick": "true"}))
 	r.AddTable(Table{
 		Title:   "demo table",
 		Columns: []string{"p", "measured", "predicted"},

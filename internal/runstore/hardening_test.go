@@ -15,7 +15,7 @@ import (
 
 func putFake(t *testing.T, s *Store, seed uint64) (string, []byte) {
 	t.Helper()
-	key := Key(KeySpec{Experiment: "fake/exp", Seed: seed, Quick: true, Version: "t"})
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: seed, Params: "quick=true", Version: "t"})
 	data, err := s.Put(key, fakeResult(seed))
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestFooterRoundTripAndOnDiskFormat(t *testing.T) {
 // JSON, no footer) still read back byte-identical.
 func TestLegacyFooterlessEntryReadsBackByteIdentical(t *testing.T) {
 	s := testStore(t, 8)
-	key := Key(KeySpec{Experiment: "fake/exp", Seed: 3, Quick: true, Version: "t"})
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: 3, Params: "quick=true", Version: "t"})
 	legacy, err := fakeResult(3).CanonicalJSON()
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestInjectedFaultsThroughFSSeam(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := Key(KeySpec{Experiment: "fake/exp", Seed: 1, Quick: true, Version: "t"})
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: 1, Params: "quick=true", Version: "t"})
 
 	// First write hits the partial-write fault: Put fails, no entry and no
 	// temp file remain.

@@ -48,8 +48,13 @@ import (
 type KeySpec struct {
 	Experiment string `json:"experiment"`
 	Seed       uint64 `json:"seed"`
-	Quick      bool   `json:"quick"`
-	Version    string `json:"version"` // harness.CodeVersion
+	// Params is the canonical "k=v,k=v" rendering of the run's fully
+	// resolved parameter assignment (harness.Resolved.Canonical /
+	// result.Params.Canonical). Canonicalization makes the key independent
+	// of value spelling and map order; including every resolved param means
+	// two runs share a key exactly when they compute the same thing.
+	Params  string `json:"params"`
+	Version string `json:"version"` // harness.CodeVersion
 }
 
 // Key returns the content address of spec: hex SHA-256 of its canonical

@@ -20,15 +20,15 @@ func testStore(t *testing.T, maxMem int) *Store {
 }
 
 func fakeResult(seed uint64) *result.Result {
-	r := result.New("fake/exp", "Fake", "nowhere", result.Params{Seed: seed, Quick: true})
+	r := result.New("fake/exp", "Fake", "nowhere", result.NewParams(seed, map[string]string{"quick": "true"}))
 	r.AddTable(result.Table{Title: "t", Columns: []string{"p", "measured"}, Rows: [][]string{{"4", "16"}}})
 	r.Finalize()
 	return r
 }
 
 func TestKeyDeterministicAndSeedSensitive(t *testing.T) {
-	a := Key(KeySpec{Experiment: "table1/broadcast", Seed: 1, Quick: true, Version: harness.CodeVersion})
-	b := Key(KeySpec{Experiment: "table1/broadcast", Seed: 1, Quick: true, Version: harness.CodeVersion})
+	a := Key(KeySpec{Experiment: "table1/broadcast", Seed: 1, Params: "quick=true", Version: harness.CodeVersion})
+	b := Key(KeySpec{Experiment: "table1/broadcast", Seed: 1, Params: "quick=true", Version: harness.CodeVersion})
 	if a != b {
 		t.Fatalf("same spec, different keys: %s vs %s", a, b)
 	}
@@ -36,10 +36,11 @@ func TestKeyDeterministicAndSeedSensitive(t *testing.T) {
 		t.Fatalf("key %q not 64 hex chars", a)
 	}
 	for _, other := range []KeySpec{
-		{Experiment: "table1/broadcast", Seed: 2, Quick: true, Version: harness.CodeVersion},
-		{Experiment: "table1/parity", Seed: 1, Quick: true, Version: harness.CodeVersion},
-		{Experiment: "table1/broadcast", Seed: 1, Quick: false, Version: harness.CodeVersion},
-		{Experiment: "table1/broadcast", Seed: 1, Quick: true, Version: harness.CodeVersion + "-next"},
+		{Experiment: "table1/broadcast", Seed: 2, Params: "quick=true", Version: harness.CodeVersion},
+		{Experiment: "table1/parity", Seed: 1, Params: "quick=true", Version: harness.CodeVersion},
+		{Experiment: "table1/broadcast", Seed: 1, Params: "quick=false", Version: harness.CodeVersion},
+		{Experiment: "table1/broadcast", Seed: 1, Params: "g=8,quick=true", Version: harness.CodeVersion},
+		{Experiment: "table1/broadcast", Seed: 1, Params: "quick=true", Version: harness.CodeVersion + "-next"},
 	} {
 		if Key(other) == a {
 			t.Fatalf("spec %+v collides with base key", other)
@@ -55,8 +56,12 @@ func TestStoredBytesIdenticalAcrossRuns(t *testing.T) {
 	if !ok {
 		t.Fatal("table1/broadcast not registered")
 	}
-	cfg := harness.Config{Seed: 1, Quick: true}
-	spec := KeySpec{Experiment: e.ID, Seed: cfg.Seed, Quick: cfg.Quick, Version: harness.CodeVersion}
+	cfg := harness.Config{Seed: 1, Params: harness.QuickParams()}
+	vals, err := e.Resolve(cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := KeySpec{Experiment: e.ID, Seed: cfg.Seed, Params: vals.Canonical(), Version: harness.CodeVersion}
 
 	s1 := testStore(t, 8)
 	k1 := Key(spec)
@@ -90,14 +95,14 @@ func TestStoredBytesIdenticalAcrossRuns(t *testing.T) {
 		t.Fatal("on-disk bytes differ between the two runs")
 	}
 
-	if Key(KeySpec{Experiment: e.ID, Seed: 2, Quick: true, Version: harness.CodeVersion}) == k1 {
+	if Key(KeySpec{Experiment: e.ID, Seed: 2, Params: "quick=true", Version: harness.CodeVersion}) == k1 {
 		t.Fatal("distinct seeds produced the same key")
 	}
 }
 
 func TestGetMissThenHit(t *testing.T) {
 	s := testStore(t, 8)
-	key := Key(KeySpec{Experiment: "fake/exp", Seed: 1, Quick: true, Version: "t"})
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: 1, Params: "quick=true", Version: "t"})
 
 	if _, ok, err := s.GetBytes(key); err != nil || ok {
 		t.Fatalf("expected clean miss, got ok=%v err=%v", ok, err)
@@ -125,7 +130,7 @@ func TestDiskHitAfterReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := Key(KeySpec{Experiment: "fake/exp", Seed: 9, Quick: true, Version: "t"})
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: 9, Params: "quick=true", Version: "t"})
 	want, err := s.Put(key, fakeResult(9))
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +164,7 @@ func TestLRUEviction(t *testing.T) {
 	s := testStore(t, 2)
 	keys := make([]string, 3)
 	for i := range keys {
-		keys[i] = Key(KeySpec{Experiment: "fake/exp", Seed: uint64(i), Quick: true, Version: "t"})
+		keys[i] = Key(KeySpec{Experiment: "fake/exp", Seed: uint64(i), Params: "quick=true", Version: "t"})
 		if _, err := s.Put(keys[i], fakeResult(uint64(i))); err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +183,7 @@ func TestDiskKeys(t *testing.T) {
 	s := testStore(t, 4)
 	want := map[string]bool{}
 	for i := 0; i < 3; i++ {
-		k := Key(KeySpec{Experiment: "fake/exp", Seed: uint64(i), Quick: true, Version: "t"})
+		k := Key(KeySpec{Experiment: "fake/exp", Seed: uint64(i), Params: "quick=true", Version: "t"})
 		want[k] = true
 		if _, err := s.Put(k, fakeResult(uint64(i))); err != nil {
 			t.Fatal(err)
@@ -218,7 +223,7 @@ func TestDeleteQuarantineInteraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := Key(KeySpec{Experiment: "fake/exp", Seed: 77, Quick: true, Version: "t"})
+	key := Key(KeySpec{Experiment: "fake/exp", Seed: 77, Params: "quick=true", Version: "t"})
 	if _, err := s.Put(key, fakeResult(77)); err != nil {
 		t.Fatal(err)
 	}

@@ -214,8 +214,13 @@ func TestChaosCorruptEntryQuarantinedRecomputedAndHealed(t *testing.T) {
 
 	// Seed the store with a corrupt file at exactly the key the task will
 	// look up.
+	e, _ := harness.ByID("table1/broadcast")
+	vals, err := e.Resolve(harness.QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	key := runstore.Key(runstore.KeySpec{
-		Experiment: "table1/broadcast", Seed: 1, Quick: true, Version: harness.CodeVersion,
+		Experiment: "table1/broadcast", Seed: 1, Params: vals.Canonical(), Version: harness.CodeVersion,
 	})
 	path := filepath.Join(dir, key[:2], key+".json")
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -20,8 +21,11 @@ import (
 // deprecated aliases with identical behavior (each logs a deprecation
 // notice once per process and answers with a Deprecation header).
 //
-//	GET  /v1/experiments   registry listing (id, title, source)
-//	POST /v1/runs          submit a sweep; waits for completion unless "wait": false
+//	GET  /v1/experiments   registry listing (id, title, source, params schema)
+//	POST /v1/runs          submit a sweep; waits for completion unless "wait": false.
+//	                       "params" fixes parameters (scalars) and declares sweep
+//	                       axes (arrays); the job is the cross product
+//	                       experiments × param grid × seeds, one cached task per cell
 //	GET  /v1/runs          job listing; supports ?limit= and ?cursor= pagination
 //	                       plus ?experiment= filtering (see handleListRuns)
 //	GET  /v1/runs/{id}     a job by id ("job-000001"), or — when {id} is a
@@ -39,7 +43,9 @@ import (
 //	{"error": {"code": "...", "message": "...", "retry_after": N?, "suggestions": [...]?}}
 //
 // where code is a stable machine-readable token (bad_request,
-// unknown_experiment, not_found, unavailable, not_ready, internal) and
+// unknown_experiment, unknown_param, not_found, unavailable, not_ready,
+// internal), suggestions carries did-you-mean candidates on the unknown_*
+// codes, and
 // retry_after (seconds, mirrored in the Retry-After header) appears only on
 // shedding responses. 400 means the request itself is malformed — do not
 // retry unchanged. 503 means the service is shedding load (queue full) or
@@ -103,6 +109,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 const (
 	codeBadRequest        = "bad_request"
 	codeUnknownExperiment = "unknown_experiment"
+	codeUnknownParam      = "unknown_param"
 	codeNotFound          = "not_found"
 	codeUnavailable       = "unavailable"
 	codeNotReady          = "not_ready"
@@ -142,16 +149,45 @@ func (s *Server) writeUnavailable(w http.ResponseWriter, retryAfter time.Duratio
 }
 
 type experimentInfo struct {
-	ID     string `json:"id"`
-	Title  string `json:"title"`
-	Source string `json:"source"`
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Source string      `json:"source"`
+	Params []paramInfo `json:"params"`
+}
+
+// paramInfo is the JSON shape of one declared parameter. Min and Max are
+// omitted when the parameter is unbounded on that side.
+type paramInfo struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"` // "int", "float", "bool"
+	Default string   `json:"default"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
+	Doc     string   `json:"doc,omitempty"`
+}
+
+func paramSchema(specs []harness.ParamSpec) []paramInfo {
+	out := make([]paramInfo, len(specs))
+	for i, p := range specs {
+		info := paramInfo{Name: p.Name, Kind: p.Kind.String(), Default: p.Default, Doc: p.Doc}
+		if !math.IsInf(p.Min, -1) {
+			v := p.Min
+			info.Min = &v
+		}
+		if !math.IsInf(p.Max, 1) {
+			v := p.Max
+			info.Max = &v
+		}
+		out[i] = info
+	}
+	return out
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	all := harness.All()
 	out := make([]experimentInfo, len(all))
 	for i, e := range all {
-		out[i] = experimentInfo{ID: e.ID, Title: e.Title, Source: e.Source}
+		out[i] = experimentInfo{ID: e.ID, Title: e.Title, Source: e.Source, Params: paramSchema(e.Params)}
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
 }
@@ -167,6 +203,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(req)
 	if err != nil {
 		var unknown *UnknownExperimentError
+		var unkParam *harness.UnknownParamError
 		var full *QueueFullError
 		switch {
 		case errors.As(err, &unknown):
@@ -174,6 +211,12 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 				Code:        codeUnknownExperiment,
 				Message:     fmt.Sprintf("unknown experiment %q", unknown.ID),
 				Suggestions: unknown.Suggestions,
+			}})
+		case errors.As(err, &unkParam):
+			s.writeJSON(w, http.StatusBadRequest, apiError{Error: errorBody{
+				Code:        codeUnknownParam,
+				Message:     fmt.Sprintf("experiment %q has no parameter %q", unkParam.Experiment, unkParam.Name),
+				Suggestions: unkParam.Suggestions,
 			}})
 		case errors.As(err, &full):
 			// Load shedding is not a client error: 503 + Retry-After.

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parbw/internal/harness"
+	"parbw/internal/runstore"
+)
+
+func waitDone(t *testing.T, job *Job) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if state := job.Wait(ctx); state != StatusDone {
+		t.Fatalf("job state %q, want done", state)
+	}
+}
+
+// GET /v1/experiments exposes each experiment's declared parameter schema:
+// names, kinds, canonical defaults, bounds, and docs.
+func TestExperimentsEndpointListsSchemas(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out struct {
+		Experiments []experimentInfo `json:"experiments"`
+	}
+	if code := getJSON(t, ts, "/v1/experiments", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, e := range out.Experiments {
+		if len(e.Params) == 0 {
+			t.Fatalf("%s: no parameter schema in listing", e.ID)
+		}
+		if e.Params[0].Name != "quick" || e.Params[0].Kind != "bool" || e.Params[0].Default != "false" {
+			t.Fatalf("%s: schema does not lead with the built-in quick bool: %+v", e.ID, e.Params[0])
+		}
+		if e.ID != "table1/broadcast" {
+			continue
+		}
+		byName := map[string]paramInfo{}
+		for _, p := range e.Params {
+			byName[p.Name] = p
+		}
+		g, ok := byName["g"]
+		if !ok || g.Kind != "int" || g.Default != "8" {
+			t.Fatalf("table1/broadcast g schema = %+v", g)
+		}
+		if g.Min == nil || *g.Min != 1 || g.Max == nil {
+			t.Fatalf("table1/broadcast g bounds = %+v", g)
+		}
+		p := byName["p"]
+		if !strings.HasPrefix(p.Doc, "0 = ") {
+			t.Fatalf("table1/broadcast p doc %q does not document the sentinel", p.Doc)
+		}
+	}
+}
+
+// A grid sweep — two param axes × two seeds — fans out into one task per
+// cell, each independently keyed on its resolved params and independently
+// cached: resubmitting the identical grid is served entirely from the store.
+func TestGridSweepPerCellKeysAndCaching(t *testing.T) {
+	s := newTestServer(t, Options{})
+
+	req := RunRequest{
+		Experiments: []string{"table1/broadcast"},
+		Seeds:       []uint64{1, 2},
+		Params: map[string]any{
+			"p": []any{float64(32), float64(64)},
+			"g": []any{float64(4), float64(8)},
+		},
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+
+	view := job.View()
+	if len(view.Tasks) != 8 {
+		t.Fatalf("%d tasks, want 2 p × 2 g × 2 seeds = 8", len(view.Tasks))
+	}
+	keys := map[string]bool{}
+	cells := map[string]bool{}
+	for _, task := range view.Tasks {
+		if task.Cached {
+			t.Fatalf("first submission served from cache: %+v", task)
+		}
+		if keys[task.Key] {
+			t.Fatalf("duplicate task key %s", task.Key)
+		}
+		keys[task.Key] = true
+		got := map[string]string{}
+		for _, p := range task.Params {
+			got[p.Name] = p.Value
+		}
+		cells[got["p"]+"/"+got["g"]] = true
+		// The task is self-describing: its key must be reproducible from its
+		// own experiment/seed/params fields.
+		e, _ := harness.ByID(task.Experiment)
+		vals, err := e.Resolve(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runstore.Key(runstore.KeySpec{
+			Experiment: task.Experiment, Seed: task.Seed,
+			Params: vals.Canonical(), Version: harness.CodeVersion,
+		})
+		if task.Key != want {
+			t.Fatalf("task key %s not derivable from its params (want %s)", task.Key, want)
+		}
+	}
+	for _, cell := range []string{"32/4", "32/8", "64/4", "64/8"} {
+		if !cells[cell] {
+			t.Fatalf("grid cell p/g=%s missing; have %v", cell, cells)
+		}
+	}
+
+	again, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, again)
+	for _, task := range again.View().Tasks {
+		if !task.Cached {
+			t.Fatalf("resubmitted cell not served from store: %+v", task)
+		}
+	}
+	if st := s.Stats(); st.TasksCached != 8 {
+		t.Fatalf("stats = %+v, want 8 cached tasks", st)
+	}
+}
+
+// The legacy quick boolean is sugar for the quick preset: it lands in every
+// task's params and produces the same cache key as the explicit form, and an
+// explicit "quick" entry wins over it.
+func TestQuickLegacySugar(t *testing.T) {
+	s := newTestServer(t, Options{})
+	legacy, err := s.Submit(RunRequest{Experiments: []string{"table1/parity"}, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := s.Submit(RunRequest{
+		Experiments: []string{"table1/parity"},
+		Params:      map[string]any{"quick": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, legacy)
+	waitDone(t, explicit)
+	lk, ek := legacy.View().Tasks[0].Key, explicit.View().Tasks[0].Key
+	if lk != ek {
+		t.Fatalf("legacy quick key %s != explicit params key %s", lk, ek)
+	}
+
+	overridden, err := s.Submit(RunRequest{
+		Experiments: []string{"table1/parity"},
+		Quick:       true,
+		Params:      map[string]any{"quick": false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overridden.View().Tasks[0].Key == lk {
+		t.Fatal("explicit quick=false did not win over the legacy flag")
+	}
+	overridden.Cancel()
+}
+
+// A mistyped parameter name is rejected before anything runs, and the HTTP
+// envelope carries the stable unknown_param code plus did-you-mean
+// suggestions from the experiment's declared schema.
+func TestUnknownParamEnvelope(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postRuns(t, ts,
+		`{"experiments":["sched/static"],"params":{"epz":0.5}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	var env struct {
+		Error struct {
+			Code        string   `json:"code"`
+			Message     string   `json:"message"`
+			Suggestions []string `json:"suggestions"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("bad envelope %s: %v", body, err)
+	}
+	if env.Error.Code != codeUnknownParam {
+		t.Fatalf("code %q, want %q (body %s)", env.Error.Code, codeUnknownParam, body)
+	}
+	if len(env.Error.Suggestions) == 0 || env.Error.Suggestions[0] != "eps" {
+		t.Fatalf("suggestions = %v, want [eps ...]", env.Error.Suggestions)
+	}
+}
+
+// Malformed parameter values — unparseable, out of range, or structurally
+// unsupported — reject the whole request with a validation error.
+func TestParamValueValidation(t *testing.T) {
+	s := newTestServer(t, Options{})
+	cases := map[string]RunRequest{
+		"bad-value": {Experiments: []string{"table1/broadcast"},
+			Params: map[string]any{"p": "lots"}},
+		"out-of-range": {Experiments: []string{"table1/broadcast"},
+			Params: map[string]any{"g": float64(-3)}},
+		"nested-array": {Experiments: []string{"table1/broadcast"},
+			Params: map[string]any{"p": []any{[]any{float64(1)}}}},
+		"empty-sweep": {Experiments: []string{"table1/broadcast"},
+			Params: map[string]any{"p": []any{}}},
+	}
+	for name, req := range cases {
+		if _, err := s.Submit(req); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// A param grid counts against MaxTasks like seeds do.
+	tiny := newTestServer(t, Options{MaxTasks: 3})
+	_, err := tiny.Submit(RunRequest{
+		Experiments: []string{"table1/broadcast"},
+		Params:      map[string]any{"p": []any{float64(32), float64(64)}},
+		Seeds:       []uint64{1, 2},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("grid not counted against the task cap: %v", err)
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -102,18 +104,21 @@ const (
 	StatusCancelled = "cancelled"
 )
 
-// Task is one (experiment, seed) cell of a job's sweep.
+// Task is one (experiment, params, seed) cell of a job's sweep. Params is
+// the full resolved assignment — defaults applied, values canonical, sorted
+// by name — so the task is self-describing and its Key is reproducible from
+// the fields alone.
 type Task struct {
-	Experiment string  `json:"experiment"`
-	Seed       uint64  `json:"seed"`
-	Quick      bool    `json:"quick"`
-	Key        string  `json:"key"`
-	Status     string  `json:"status"`
-	Cached     bool    `json:"cached"`
-	Degraded   bool    `json:"degraded,omitempty"` // done, but not cached (store unavailable)
-	Attempts   int     `json:"attempts"`
-	WallMS     float64 `json:"wall_ms"`
-	Error      string  `json:"error,omitempty"`
+	Experiment string         `json:"experiment"`
+	Seed       uint64         `json:"seed"`
+	Params     []result.Param `json:"params"`
+	Key        string         `json:"key"`
+	Status     string         `json:"status"`
+	Cached     bool           `json:"cached"`
+	Degraded   bool           `json:"degraded,omitempty"` // done, but not cached (store unavailable)
+	Attempts   int            `json:"attempts"`
+	WallMS     float64        `json:"wall_ms"`
+	Error      string         `json:"error,omitempty"`
 
 	// Result is the canonical JSON of the structured result, exactly the
 	// bytes held by the run store — byte-identical across repeated requests.
@@ -143,7 +148,7 @@ type Job struct {
 type TaskView struct {
 	Experiment string          `json:"experiment"`
 	Seed       uint64          `json:"seed"`
-	Quick      bool            `json:"quick"`
+	Params     []result.Param  `json:"params"`
 	Key        string          `json:"key"`
 	Status     string          `json:"status"`
 	Cached     bool            `json:"cached"`
@@ -188,7 +193,7 @@ func (j *Job) View() JobView {
 		v.Tasks[i] = TaskView{
 			Experiment: t.Experiment,
 			Seed:       t.Seed,
-			Quick:      t.Quick,
+			Params:     t.Params,
 			Key:        t.Key,
 			Status:     t.Status,
 			Cached:     t.Cached,
@@ -416,14 +421,23 @@ func (s *Server) Ready() error {
 // Store exposes the underlying run store (for stats and direct key reads).
 func (s *Server) Store() *runstore.Store { return s.opts.Store }
 
-// RunRequest is a submitted sweep: the cross product of Experiments × Seeds.
+// RunRequest is a submitted sweep: the cross product of
+// Experiments × parameter grid × Seeds.
 type RunRequest struct {
 	// Experiments lists harness ids; the single entry "all" expands to every
 	// registered experiment.
 	Experiments []string `json:"experiments"`
 	// Seeds defaults to [1].
 	Seeds []uint64 `json:"seeds"`
-	Quick bool     `json:"quick"`
+	// Params sets experiment parameters by name. A scalar (number, bool, or
+	// string) fixes the parameter for every task; an array declares a sweep
+	// axis, and the job fans out over the cross product of all axes — each
+	// cell an independently keyed, independently cached task. Names and
+	// values are validated against each experiment's declared schema.
+	Params map[string]any `json:"params"`
+	// Quick is legacy sugar for Params{"quick": true}; an explicit "quick"
+	// entry in Params wins.
+	Quick bool `json:"quick"`
 	// TimeoutMS overrides the server's default per-job timeout.
 	TimeoutMS int64 `json:"timeout_ms"`
 	// Wait, when true (the HTTP default), makes POST /runs block until the
@@ -476,7 +490,11 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	if n := len(ids) * len(seeds); n > s.opts.MaxTasks {
+	cells, err := expandParamGrid(req)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(ids) * len(cells) * len(seeds); n > s.opts.MaxTasks {
 		return nil, fmt.Errorf("service: job would have %d tasks, cap is %d", n, s.opts.MaxTasks)
 	}
 	timeout := s.opts.JobTimeout
@@ -484,21 +502,32 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 
-	tasks := make([]*Task, 0, len(ids)*len(seeds))
+	tasks := make([]*Task, 0, len(ids)*len(cells)*len(seeds))
 	for _, id := range ids {
-		for _, seed := range seeds {
-			tasks = append(tasks, &Task{
-				Experiment: id,
-				Seed:       seed,
-				Quick:      req.Quick,
-				Key: runstore.Key(runstore.KeySpec{
+		e, _ := harness.ByID(id) // expandExperiments already vetted the id
+		for _, cell := range cells {
+			// Resolve per (experiment, cell): validation errors (unknown
+			// name, bad value) reject the whole request before anything runs.
+			vals, err := e.Resolve(cell)
+			if err != nil {
+				return nil, err
+			}
+			params := vals.ResultParams(0).Values
+			canon := vals.Canonical()
+			for _, seed := range seeds {
+				tasks = append(tasks, &Task{
 					Experiment: id,
 					Seed:       seed,
-					Quick:      req.Quick,
-					Version:    harness.CodeVersion,
-				}),
-				Status: StatusPending,
-			})
+					Params:     params,
+					Key: runstore.Key(runstore.KeySpec{
+						Experiment: id,
+						Seed:       seed,
+						Params:     canon,
+						Version:    harness.CodeVersion,
+					}),
+					Status: StatusPending,
+				})
+			}
 		}
 	}
 
@@ -569,6 +598,96 @@ func expandExperiments(ids []string) ([]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// expandParamGrid turns req.Params into the job's parameter cells: scalars
+// fix a parameter for every task, arrays declare sweep axes, and the cells
+// are the cross product of the axes in sorted name order (deterministic task
+// order for a given request). The legacy Quick flag folds the "quick" preset
+// in unless the request names "quick" itself. Values are raw strings here;
+// Submit validates each cell against the experiment's schema via Resolve.
+func expandParamGrid(req RunRequest) ([]map[string]string, error) {
+	fixed := map[string]string{}
+	axes := map[string][]string{}
+	for name, v := range req.Params {
+		if list, ok := v.([]any); ok {
+			if len(list) == 0 {
+				return nil, fmt.Errorf("service: param %q: sweep list is empty", name)
+			}
+			vals := make([]string, len(list))
+			for i, item := range list {
+				s, err := paramString(item)
+				if err != nil {
+					return nil, fmt.Errorf("service: param %q[%d]: %v", name, i, err)
+				}
+				vals[i] = s
+			}
+			axes[name] = vals
+			continue
+		}
+		s, err := paramString(v)
+		if err != nil {
+			return nil, fmt.Errorf("service: param %q: %v", name, err)
+		}
+		fixed[name] = s
+	}
+	if req.Quick {
+		if _, ok := fixed["quick"]; !ok {
+			if _, ok := axes["quick"]; !ok {
+				fixed["quick"] = "true"
+			}
+		}
+	}
+
+	names := make([]string, 0, len(axes))
+	for name := range axes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cells := []map[string]string{fixed}
+	for _, name := range names {
+		next := make([]map[string]string, 0, len(cells)*len(axes[name]))
+		for _, cell := range cells {
+			for _, v := range axes[name] {
+				c := make(map[string]string, len(cell)+1)
+				for k, cv := range cell {
+					c[k] = cv
+				}
+				c[name] = v
+				next = append(next, c)
+			}
+		}
+		cells = next
+	}
+	return cells, nil
+}
+
+// paramString renders one JSON parameter value as the raw string the harness
+// validates. JSON numbers arrive as float64; the 'g' encoding keeps integers
+// integral ("64", not "64.000000") so they parse under KindInt.
+func paramString(v any) (string, error) {
+	switch x := v.(type) {
+	case string:
+		return x, nil
+	case bool:
+		return strconv.FormatBool(x), nil
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), nil
+	case json.Number:
+		return x.String(), nil
+	default:
+		return "", fmt.Errorf("unsupported value type %T (use a number, bool, string, or a flat array of those)", v)
+	}
+}
+
+// paramMap rebuilds the raw override map from a task's resolved params; the
+// values are already canonical, so re-resolving them is the identity.
+func paramMap(ps []result.Param) map[string]string {
+	m := make(map[string]string, len(ps))
+	for _, p := range ps {
+		m[p.Name] = p.Value
+	}
+	return m
 }
 
 // Job lookup by id.
@@ -792,7 +911,7 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 		return
 	}
 
-	cfg := harness.Config{Seed: t.Seed, Quick: t.Quick}
+	cfg := harness.Config{Seed: t.Seed, Params: paramMap(t.Params)}
 	var lastErr error
 	for attempt := 1; attempt <= 1+s.opts.Retries; attempt++ {
 		if attempt > 1 {
