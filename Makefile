@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-baseline bench-tables bench-smoke experiments verify export serve clean
+.PHONY: all build vet test race chaos bench bench-baseline bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
 
 all: build test
 
@@ -65,6 +65,18 @@ export:
 # The HTTP run service (job queue + content-addressed run store).
 serve:
 	$(GO) run ./cmd/bandsim serve
+
+# Seeded workload fuzzing: generated workloads through every invariant
+# oracle, ddmin-shrinking any failure ('bandsim fuzz -h' for flags).
+fuzz:
+	$(GO) run ./cmd/bandsim fuzz -seeds 1000
+
+# CI's fixed-seed smoke block: race detector on, zero violations required,
+# and the -json output must be byte-identical across two runs.
+fuzz-smoke:
+	$(GO) run -race ./cmd/bandsim fuzz -seeds 200 -json > /tmp/parbw_fuzz1.json
+	$(GO) run -race ./cmd/bandsim fuzz -seeds 200 -json > /tmp/parbw_fuzz2.json
+	cmp /tmp/parbw_fuzz1.json /tmp/parbw_fuzz2.json
 
 # The capture files the repo ships with.
 outputs:

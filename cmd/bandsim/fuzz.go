@@ -1,0 +1,209 @@
+// The fuzz subcommand: generate seeded workloads, check every invariant
+// oracle against each, and ddmin-shrink whatever fails. Seeds fan out over
+// a workpool but results are reported in seed order from a seed-indexed
+// slice, so two runs with the same flags produce byte-identical output
+// regardless of scheduling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"parbw/internal/oracle"
+	"parbw/internal/shrink"
+	"parbw/internal/workgen"
+	"parbw/internal/workpool"
+)
+
+// fuzzFailure is one reported failing seed — one JSON line under -json.
+type fuzzFailure struct {
+	Seed             uint64             `json:"seed"`
+	Family           string             `json:"family"`
+	Violations       []oracle.Violation `json:"violations"`
+	Shrunk           *workgen.Workload  `json:"shrunk,omitempty"`
+	ShrinkEvals      int                `json:"shrink_evals,omitempty"`
+	Nondeterministic int                `json:"nondeterministic,omitempty"`
+}
+
+// fuzzSummary is the final line of every fuzz run.
+type fuzzSummary struct {
+	Version    int      `json:"version"`
+	Seeds      int      `json:"seeds"`
+	SeedBase   uint64   `json:"seed_base"`
+	Families   []string `json:"families"`
+	TotalSends int      `json:"total_sends"`
+	TotalFlits int      `json:"total_flits"`
+	Failures   int      `json:"failures"`
+}
+
+// runFuzz implements `bandsim fuzz`. It writes all run output to stdout
+// (stderr is reserved for flag errors) and returns a non-nil error when
+// any seed violated an invariant, which main turns into exit status 1.
+func runFuzz(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 256, "number of seeds to run")
+	seedBase := fs.Uint64("seed-base", 1, "first seed; seed i of the run is seed-base+i")
+	family := fs.String("family", "all", "workload family: hrel, dag, balls, or all (cycled per seed)")
+	doShrink := fs.Bool("shrink", true, "ddmin-shrink failing workloads to minimal counterexamples")
+	corpusDir := fs.String("corpus", "", "write failing (shrunk) workloads as corpus entries into this directory")
+	jsonOut := fs.Bool("json", false, "emit JSON lines instead of text")
+	workers := fs.Int("workers", 0, "parallel oracle workers (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `usage: bandsim fuzz [-seeds N] [-seed-base S] [-family F] [-shrink] [-corpus dir] [-json] [-workers N]
+
+Generates N seeded workloads, checks every invariant oracle against each,
+and shrinks failures with ddmin. Same flags => byte-identical output.`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fuzz takes no positional arguments, got %q", fs.Args())
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be positive, got %d", *seeds)
+	}
+	fams := workgen.Families()
+	if *family != "all" {
+		f, err := workgen.ParseFamily(*family)
+		if err != nil {
+			return err
+		}
+		fams = []workgen.Family{f}
+	}
+
+	// Phase 1 — parallel generate + check. Each seed owns one cell of the
+	// results slice, so the fan-out leaves no scheduling fingerprint.
+	type cell struct {
+		w  *workgen.Workload
+		vs []oracle.Violation
+	}
+	cells := make([]cell, *seeds)
+	workpool.New(*workers).For(*seeds, func(i int) {
+		w := workgen.Generate(workgen.GenConfig{
+			Family: fams[i%len(fams)],
+			Seed:   *seedBase + uint64(i),
+		})
+		cells[i] = cell{w: w, vs: oracle.Check(w)}
+	})
+
+	// Phase 2 — sequential, seed-ordered report; shrinking runs here so the
+	// (rare) failing path is deterministic too.
+	enc := json.NewEncoder(stdout)
+	enc.SetEscapeHTML(false)
+	sum := fuzzSummary{Version: workgen.Version, Seeds: *seeds, SeedBase: *seedBase}
+	for _, f := range fams {
+		sum.Families = append(sum.Families, string(f))
+	}
+	var failures []fuzzFailure
+	for i, c := range cells {
+		sends, flits := c.w.CountSends()
+		sum.TotalSends += sends
+		sum.TotalFlits += flits
+		if len(c.vs) == 0 {
+			continue
+		}
+		fail := fuzzFailure{
+			Seed:       *seedBase + uint64(i),
+			Family:     string(c.w.Family),
+			Violations: c.vs,
+		}
+		if *doShrink {
+			want := oracle.Names(c.vs)
+			res := shrink.Minimize(c.w, func(cand *workgen.Workload) bool {
+				return sameViolationNames(oracle.Names(oracle.Check(cand)), want)
+			}, shrink.Options{})
+			fail.Shrunk = res.Workload
+			fail.ShrinkEvals = res.Evals
+			fail.Nondeterministic = res.Nondeterministic
+		}
+		failures = append(failures, fail)
+		if *jsonOut {
+			if err := enc.Encode(fail); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(stdout, "fuzz: seed %d (%s): violations %s\n",
+				fail.Seed, fail.Family, strings.Join(oracle.Names(fail.Violations), ","))
+			for _, v := range fail.Violations {
+				fmt.Fprintf(stdout, "  %s: %s\n", v.Invariant, v.Detail)
+			}
+			if fail.Shrunk != nil {
+				ssends, _ := fail.Shrunk.CountSends()
+				fmt.Fprintf(stdout, "  shrunk to %d step(s), %d send(s) in %d evals\n",
+					len(fail.Shrunk.Steps), ssends, fail.ShrinkEvals)
+			}
+		}
+	}
+	sum.Failures = len(failures)
+
+	if *corpusDir != "" && len(failures) > 0 {
+		if err := writeCorpus(*corpusDir, failures); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "fuzz: %d seeds (base %d), families %s: %d violation(s), %d sends / %d flits generated\n",
+			sum.Seeds, sum.SeedBase, strings.Join(sum.Families, ","), sum.Failures, sum.TotalSends, sum.TotalFlits)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("fuzz: %d of %d seeds violated invariants", len(failures), *seeds)
+	}
+	return nil
+}
+
+// sameViolationNames reports whether two violation-name lists are equal —
+// the shrink predicate pins the exact failure mode, so a candidate that
+// fails differently (or stops failing) is rejected.
+func sameViolationNames(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeCorpus writes one oracle corpus entry per failure, named
+// <family>-seed<seed>.json, shrunk when shrinking ran. Entries replay
+// under go test via the corpus replay test at the repository root.
+func writeCorpus(dir string, failures []fuzzFailure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range failures {
+		w := f.Shrunk
+		if w == nil {
+			// Re-generate: the checked workload itself was not retained.
+			w = workgen.Generate(workgen.GenConfig{Family: workgen.Family(f.Family), Seed: f.Seed})
+		}
+		e := &oracle.Entry{
+			Note:       fmt.Sprintf("bandsim fuzz: family=%s seed=%d", f.Family, f.Seed),
+			Violations: oracle.Names(f.Violations),
+			Workload:   w,
+		}
+		data, err := e.Encode()
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s-seed%d.json", f.Family, f.Seed)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

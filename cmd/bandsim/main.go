@@ -11,6 +11,8 @@
 //	bandsim run all              run everything (this regenerates Table 1
 //	                             and every per-theorem table)
 //	bandsim serve                HTTP run service (see serve.go)
+//	bandsim fuzz                 seeded workload fuzzing with invariant
+//	                             oracles and ddmin shrinking (see fuzz.go)
 //
 // Flags:
 //
@@ -24,14 +26,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"parbw/internal/harness"
+	"parbw/internal/service"
 )
 
 func main() {
@@ -98,6 +103,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bandsim:", err)
 			os.Exit(1)
 		}
+	case "fuzz":
+		if err := runFuzz(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bandsim:", err)
+			os.Exit(1)
+		}
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "bandsim: run needs experiment ids (or 'all')")
@@ -115,11 +125,19 @@ func main() {
 		for _, id := range ids {
 			e, ok := harness.ByID(id)
 			if !ok {
-				fmt.Fprint(os.Stderr, unknownIDMessage(id))
+				if *jsonOut {
+					writeErrorEnvelope(os.Stdout, service.UnknownExperimentEnvelope(id))
+				} else {
+					fmt.Fprint(os.Stderr, unknownIDMessage(id))
+				}
 				os.Exit(1)
 			}
 			if _, err := e.Resolve(cfg.Params); err != nil {
-				fmt.Fprintln(os.Stderr, "bandsim:", err)
+				if *jsonOut {
+					writeErrorEnvelope(os.Stdout, service.ParamErrorEnvelope(err))
+				} else {
+					fmt.Fprintln(os.Stderr, "bandsim:", err)
+				}
 				os.Exit(1)
 			}
 		}
@@ -152,7 +170,7 @@ func main() {
 func parseArgs() []string {
 	flag.Parse()
 	rest := flag.Args()
-	if len(rest) > 0 && (rest[0] == "serve" || rest[0] == "bench") {
+	if len(rest) > 0 && (rest[0] == "serve" || rest[0] == "bench" || rest[0] == "fuzz") {
 		return rest
 	}
 	var out []string
@@ -197,6 +215,18 @@ func (s setFlags) Set(v string) error {
 	return nil
 }
 
+// writeErrorEnvelope prints a v1 error envelope as one JSON line — the
+// same {code, message, suggestions} object the HTTP API answers with, and
+// encoded with the same settings, so -json consumers parse one shape
+// across both surfaces.
+func writeErrorEnvelope(w io.Writer, env service.ErrorEnvelope) {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(env); err != nil {
+		fmt.Fprintln(os.Stderr, "bandsim:", err)
+	}
+}
+
 // unknownIDMessage formats the error for a mistyped experiment id, with the
 // registry's closest matches when there are any.
 func unknownIDMessage(id string) string {
@@ -228,6 +258,9 @@ usage:
                                   a content-addressed run store ('serve -h' for flags)
   bandsim bench [bench flags]     fixed hot-path benchmark suite; emits a canonical
                                   BENCH_<timestamp>.json report ('bench -h' for flags)
+  bandsim fuzz [fuzz flags]       seeded workload fuzzing: generate workloads, check
+                                  the invariant oracles, ddmin-shrink any failure
+                                  ('fuzz -h' for flags)
 
 flags:
 `)

@@ -361,14 +361,17 @@ func runChannels(rec *Recorder) {
 	n := p * per
 	t := tablefmt.New("m-channel slotted-ALOHA network: paced vs burst vs backoff makespan (uniform x_i)",
 		"m", "n", "paced (ε=4)", "burst", "burst+backoff", "burst/paced", "n/(m/e) ideal")
+	// The network stream must differ from the schedule stream below while all
+	// three runs share one network seed so makespans stay comparable.
+	netSeed := xrand.Derive(cfg.Seed, "net/channels").Uint64()
 	for _, mm := range rec.IntSweep("m", []int{4, 8, 16}, []int{8}) {
 		rng := xrand.New(cfg.Seed)
 		eps := 4.0 // target load 0.2·m < ALOHA capacity m/e
-		paced := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
+		paced := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: netSeed},
 			netsim.UnbalancedSchedule(rng, x, mm, eps))
-		burst := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
+		burst := netsim.Run(netsim.Config{Sources: p, Channels: mm, Seed: netSeed},
 			netsim.NaiveSchedule(x))
-		backoff := netsim.RunBackoff(netsim.Config{Sources: p, Channels: mm, Seed: cfg.Seed + 1},
+		backoff := netsim.RunBackoff(netsim.Config{Sources: p, Channels: mm, Seed: netSeed},
 			netsim.NaiveSchedule(x), 10)
 		ideal := float64(n) / (float64(mm) / 2.718281828)
 		t.Row(mm, n, paced.Makespan, burst.Makespan, backoff.Makespan,

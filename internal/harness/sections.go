@@ -161,7 +161,7 @@ func runCRCWSim(rec *Recorder) {
 			c := model.QSMm(mm)
 			c.Penalty = model.LinearPenalty
 			m := newQSMmMem(p, mem, c, cfg.Seed)
-			rng := xrand.New(cfg.Seed + uint64(mm))
+			rng := xrand.Derive(cfg.Seed, fmt.Sprintf("crcw-sim/m=%d", mm))
 			for a := 0; a < cells; a++ {
 				m.Store(pmKind.Base+a, int64(a*3+1))
 			}

@@ -1,0 +1,155 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"parbw/internal/workgen"
+)
+
+func TestGeneratedWorkloadsSatisfyInvariants(t *testing.T) {
+	for _, fam := range workgen.Families() {
+		for seed := uint64(0); seed < 100; seed++ {
+			w := workgen.Generate(workgen.GenConfig{Family: fam, Seed: seed})
+			if vs := Check(w); len(vs) != 0 {
+				t.Fatalf("%s seed %d: unexpected violations: %+v", fam, seed, vs)
+			}
+		}
+	}
+}
+
+func TestCheckDeterministic(t *testing.T) {
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyHRel, Seed: 17})
+	a := Check(w)
+	b := Check(w)
+	if len(a) != len(b) {
+		t.Fatalf("violation counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("violation %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInvalidWorkloadReportsValidateOnly(t *testing.T) {
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyHRel, Seed: 3, P: 4})
+	w.Steps[0].Sends[0].Dst = 99
+	vs := Check(w)
+	if len(vs) != 1 || vs[0].Invariant != "workload/validate" {
+		t.Fatalf("violations = %+v, want exactly workload/validate", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "invalid dst") {
+		t.Fatalf("detail %q does not name the bad destination", vs[0].Detail)
+	}
+}
+
+func TestLyingTotalsCaught(t *testing.T) {
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyBalls, Seed: 8})
+	w.TotalFlits += 5
+	vs := Check(w)
+	found := false
+	for _, v := range vs {
+		if v.Invariant == "workload/conserve" {
+			found = true
+		}
+		if v.Invariant == "sched/conserve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lying totals not caught: %+v", vs)
+	}
+}
+
+func TestAdversarialWorkloadsNeverPanic(t *testing.T) {
+	for _, fam := range workgen.Families() {
+		for seed := uint64(0); seed < 100; seed++ {
+			w := workgen.Generate(workgen.GenConfig{Family: fam, Seed: seed, Adversarial: true})
+			vs := Check(w) // must not panic
+			if len(vs) == 0 {
+				t.Fatalf("%s seed %d: adversarial workload produced no violation", fam, seed)
+			}
+			for _, v := range vs {
+				if strings.HasPrefix(v.Detail, "panic:") {
+					t.Fatalf("%s seed %d: invariant %s panicked: %s", fam, seed, v.Invariant, v.Detail)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakForTestHook(t *testing.T) {
+	BreakForTest = "workload/conserve"
+	defer func() { BreakForTest = "" }()
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyHRel, Seed: 1})
+	if w.TotalFlits == 0 {
+		t.Skip("seed produced an empty workload")
+	}
+	vs := Check(w)
+	names := Names(vs)
+	if len(names) != 1 || names[0] != "workload/conserve" {
+		t.Fatalf("broken oracle reported %v, want exactly workload/conserve", names)
+	}
+}
+
+func TestInvariantsListMatchesCheck(t *testing.T) {
+	// Every name Check can emit is in Invariants(); spot-check via the
+	// validate and conserve paths.
+	listed := map[string]bool{}
+	for _, n := range Invariants() {
+		listed[n] = true
+	}
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyHRel, Seed: 3, P: 4})
+	w.Steps[0].Sends[0].Dst = 99
+	for _, v := range Check(w) {
+		if !listed[v.Invariant] {
+			t.Fatalf("Check emitted unlisted invariant %q", v.Invariant)
+		}
+	}
+}
+
+func TestCorpusEntryRoundTrip(t *testing.T) {
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyDAG, Seed: 5})
+	e := &Entry{Note: "clean dag workload", Violations: []string{}, Workload: w}
+	enc, err := e.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeEntry(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatalf("round trip changed bytes:\n%s\n%s", enc, enc2)
+	}
+	if err := Replay(back); err != nil {
+		t.Fatalf("clean entry failed replay: %v", err)
+	}
+}
+
+func TestReplayDetectsDrift(t *testing.T) {
+	w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyHRel, Seed: 2})
+	e := &Entry{Violations: []string{"workload/conserve"}, Workload: w}
+	if err := Replay(e); err == nil {
+		t.Fatal("stale entry (recorded violation no longer reproduced) passed replay")
+	}
+	w.TotalFlits++
+	clean := &Entry{Violations: []string{}, Workload: w}
+	if err := Replay(clean); err == nil {
+		t.Fatal("regressed entry (new violation) passed replay")
+	}
+}
+
+func TestDecodeEntryRejects(t *testing.T) {
+	if _, err := DecodeEntry([]byte("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeEntry([]byte(`{"violations":[]}`)); err == nil {
+		t.Fatal("entry without workload accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Corpus-seeded fuzzing for the schedule-validation rejection paths. This
+// file lives in the external sched_test package because the seed corpus is
+// decoded with workgen, which itself imports sched — the in-package fuzz
+// harnesses (check_test.go) cover the same contract from hand-written
+// seeds, this one replays whatever `bandsim fuzz` has shrunk into
+// internal/oracle/testdata/corpus.
+package sched_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parbw/internal/bsp"
+	"parbw/internal/model"
+	"parbw/internal/oracle"
+	"parbw/internal/sched"
+)
+
+// clampInt8 folds an int into the int8-coded byte format the fuzz
+// harnesses decode, saturating rather than wrapping so the seed keeps the
+// sign and rough magnitude of the corpus value.
+func clampInt8(v int) byte {
+	if v > 127 {
+		v = 127
+	}
+	if v < -128 {
+		v = -128
+	}
+	return byte(int8(v))
+}
+
+// corpusSeeds decodes every checked-in corpus entry into (procs, bytes)
+// seeds for the slot-schedule harness: each superstep's sends serialize to
+// 4-byte (proc, slot, dst, len) groups.
+func corpusSeeds(f *testing.F) {
+	dir := filepath.Join("..", "oracle", "testdata", "corpus")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		f.Logf("no corpus at %s: %v", dir, err)
+		return
+	}
+	for _, fi := range files {
+		if !strings.HasSuffix(fi.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, fi.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		e, err := oracle.DecodeEntry(data)
+		if err != nil {
+			f.Fatalf("%s: %v", fi.Name(), err)
+		}
+		for _, step := range e.Workload.Steps {
+			var b []byte
+			for _, s := range step.Sends {
+				b = append(b, clampInt8(s.Proc), clampInt8(s.Slot), clampInt8(s.Dst), clampInt8(s.Len))
+			}
+			f.Add(e.Workload.P, b)
+		}
+	}
+}
+
+// FuzzCorpusSlotSchedule is the CheckSlotSchedule rejection contract —
+// never panic; accepted schedules drive a real machine cleanly — seeded
+// from the shrunk fuzz corpus instead of hand-written cases.
+func FuzzCorpusSlotSchedule(f *testing.F) {
+	f.Add(4, []byte{0, 0, 1, 1, 0, 0, 2, 1})
+	corpusSeeds(f)
+	f.Fuzz(func(t *testing.T, procs int, data []byte) {
+		if procs < 1 || procs > 64 {
+			procs = 1 + (procs&0x7fffffff)%64
+		}
+		var sends []sched.SlotSend
+		for i := 0; i+4 <= len(data) && len(sends) < 256; i += 4 {
+			sends = append(sends, sched.SlotSend{
+				Proc: int(int8(data[i])),
+				Slot: int(int8(data[i+1])),
+				Dst:  int(int8(data[i+2])),
+				Len:  int(int8(data[i+3])),
+			})
+		}
+		err := sched.CheckSlotSchedule(procs, sends) // must never panic
+		if err != nil || len(sends) == 0 {
+			return
+		}
+		m := bsp.New(bsp.Config{P: procs, Cost: model.BSPm(2, 1), Seed: 1})
+		m.Superstep(func(c *bsp.Ctx) {
+			for _, s := range sends {
+				if s.Proc != c.ID() {
+					continue
+				}
+				c.SendAt(s.Slot, s.Dst, bsp.Msg{Dst: int32(s.Dst), Len: int32(s.Len)})
+			}
+		})
+	})
+}

@@ -37,8 +37,6 @@
 package sched
 
 import (
-	"fmt"
-
 	"parbw/internal/bsp"
 	"parbw/internal/collective"
 	"parbw/internal/model"
@@ -168,11 +166,13 @@ type compiled struct {
 	n    int       // total flits
 }
 
-// compile flattens and validates a plan against machine m.
+// compile flattens and validates a plan against machine m. Validation is
+// CheckPlan's; callers that cannot tolerate a panic (generated or
+// adversarial plans) must run CheckPlan themselves first.
 func compile(m *bsp.Machine, plan Plan) *compiled {
 	p := m.P()
-	if len(plan) != p {
-		panic(fmt.Sprintf("sched: plan has %d rows for %d processors", len(plan), p))
+	if err := CheckPlan(p, plan); err != nil {
+		panic(err.Error())
 	}
 	total := 0
 	for _, msgs := range plan {
@@ -189,9 +189,6 @@ func compile(m *bsp.Machine, plan Plan) *compiled {
 		c.row[i] = len(c.msgs)
 		acc := 0
 		for _, msg := range msgs {
-			if int(msg.Dst) < 0 || int(msg.Dst) >= p {
-				panic(fmt.Sprintf("sched: proc %d message to invalid dst %d", i, msg.Dst))
-			}
 			c.off[len(c.msgs)] = acc
 			c.msgs = append(c.msgs, msg)
 			f := msg.Flits()

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"parbw/internal/harness"
+)
+
+// Stable error codes of the v1 envelope. The CLI's -json error output
+// reuses them verbatim, so a client that parses one surface parses both.
+const (
+	CodeBadRequest        = "bad_request"
+	CodeUnknownExperiment = "unknown_experiment"
+	CodeUnknownParam      = "unknown_param"
+	CodeNotFound          = "not_found"
+	CodeUnavailable       = "unavailable"
+	CodeNotReady          = "not_ready"
+	CodeInternal          = "internal"
+)
+
+// ErrorBody is the inner object of the uniform error envelope.
+type ErrorBody struct {
+	Code        string   `json:"code"`
+	Message     string   `json:"message"`
+	RetryAfter  int      `json:"retry_after,omitempty"` // seconds; shedding only
+	Suggestions []string `json:"suggestions,omitempty"`
+}
+
+// ErrorEnvelope is the {"error": {...}} wrapper every non-2xx HTTP
+// response carries, and the shape `bandsim run -json` prints for unknown
+// experiments and parameters.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// UnknownExperimentEnvelope builds the unknown_experiment envelope for a
+// mistyped id, with the registry's did-you-mean suggestions. Both the HTTP
+// submit path and the CLI build their response through here, which is what
+// keeps the two surfaces' suggestion payloads identical.
+func UnknownExperimentEnvelope(id string) ErrorEnvelope {
+	return ErrorEnvelope{Error: ErrorBody{
+		Code:        CodeUnknownExperiment,
+		Message:     fmt.Sprintf("unknown experiment %q", id),
+		Suggestions: harness.Suggest(id),
+	}}
+}
+
+// ParamErrorEnvelope maps a parameter-resolution error to the envelope:
+// unknown_param with suggestions for a harness.UnknownParamError, plain
+// bad_request for anything else (an out-of-range value, a bad literal).
+func ParamErrorEnvelope(err error) ErrorEnvelope {
+	var unk *harness.UnknownParamError
+	if errors.As(err, &unk) {
+		return ErrorEnvelope{Error: ErrorBody{
+			Code:        CodeUnknownParam,
+			Message:     fmt.Sprintf("experiment %q has no parameter %q", unk.Experiment, unk.Name),
+			Suggestions: unk.Suggestions,
+		}}
+	}
+	return ErrorEnvelope{Error: ErrorBody{Code: CodeBadRequest, Message: err.Error()}}
+}

@@ -105,32 +105,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// Stable error codes of the v1 envelope.
-const (
-	codeBadRequest        = "bad_request"
-	codeUnknownExperiment = "unknown_experiment"
-	codeUnknownParam      = "unknown_param"
-	codeNotFound          = "not_found"
-	codeUnavailable       = "unavailable"
-	codeNotReady          = "not_ready"
-	codeInternal          = "internal"
-)
-
-// errorBody is the inner object of the uniform error envelope.
-type errorBody struct {
-	Code        string   `json:"code"`
-	Message     string   `json:"message"`
-	RetryAfter  int      `json:"retry_after,omitempty"` // seconds; shedding only
-	Suggestions []string `json:"suggestions,omitempty"`
-}
-
-// apiError is the envelope every non-2xx response carries.
-type apiError struct {
-	Error errorBody `json:"error"`
-}
+// The stable error codes and the ErrorBody/ErrorEnvelope types live in
+// envelope.go; they are exported because the bandsim CLI's -json error
+// output shares them.
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	s.writeJSON(w, status, apiError{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+	s.writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // writeUnavailable sheds a request: 503 plus a Retry-After hint, in both
@@ -141,8 +121,8 @@ func (s *Server) writeUnavailable(w http.ResponseWriter, retryAfter time.Duratio
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: errorBody{
-		Code:       codeUnavailable,
+	s.writeJSON(w, http.StatusServiceUnavailable, ErrorEnvelope{Error: ErrorBody{
+		Code:       CodeUnavailable,
 		Message:    fmt.Sprintf(format, args...),
 		RetryAfter: secs,
 	}})
@@ -197,7 +177,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	job, err := s.Submit(req)
@@ -207,24 +187,18 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		var full *QueueFullError
 		switch {
 		case errors.As(err, &unknown):
-			s.writeJSON(w, http.StatusBadRequest, apiError{Error: errorBody{
-				Code:        codeUnknownExperiment,
-				Message:     fmt.Sprintf("unknown experiment %q", unknown.ID),
-				Suggestions: unknown.Suggestions,
-			}})
+			// Built by the same constructor the CLI's -json path uses, so
+			// the two surfaces cannot drift apart.
+			s.writeJSON(w, http.StatusBadRequest, UnknownExperimentEnvelope(unknown.ID))
 		case errors.As(err, &unkParam):
-			s.writeJSON(w, http.StatusBadRequest, apiError{Error: errorBody{
-				Code:        codeUnknownParam,
-				Message:     fmt.Sprintf("experiment %q has no parameter %q", unkParam.Experiment, unkParam.Name),
-				Suggestions: unkParam.Suggestions,
-			}})
+			s.writeJSON(w, http.StatusBadRequest, ParamErrorEnvelope(err))
 		case errors.As(err, &full):
 			// Load shedding is not a client error: 503 + Retry-After.
 			s.writeUnavailable(w, full.RetryAfter, "%v", err)
 		case errors.Is(err, ErrDraining):
 			s.writeUnavailable(w, shedRetryAfter, "%v", err)
 		default:
-			s.writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		}
 		return
 	}
@@ -267,7 +241,7 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 1 {
-			s.writeError(w, http.StatusBadRequest, codeBadRequest, "limit must be a positive integer, got %q", raw)
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "limit must be a positive integer, got %q", raw)
 			return
 		}
 		if n > maxListLimit {
@@ -286,7 +260,7 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if start < 0 {
-			s.writeError(w, http.StatusBadRequest, codeBadRequest, "unknown cursor %q", cursor)
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown cursor %q", cursor)
 			return
 		}
 		jobs = jobs[start:]
@@ -321,11 +295,11 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	if runstore.ValidKey(id) {
 		data, ok, err := s.opts.Store.GetBytes(id)
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 			return
 		}
 		if !ok {
-			s.writeError(w, http.StatusNotFound, codeNotFound, "no stored run with key %s", id)
+			s.writeError(w, http.StatusNotFound, CodeNotFound, "no stored run with key %s", id)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -334,7 +308,7 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job, ok := s.Job(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, codeNotFound, "no job %q", id)
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "no job %q", id)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, job.View())
@@ -350,15 +324,15 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	if runstore.ValidKey(id) {
 		_, ok, err := s.opts.Store.GetBytes(id)
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 			return
 		}
 		if !ok {
-			s.writeError(w, http.StatusNotFound, codeNotFound, "no stored run with key %s", id)
+			s.writeError(w, http.StatusNotFound, CodeNotFound, "no stored run with key %s", id)
 			return
 		}
 		if err := s.opts.Store.Delete(id); err != nil {
-			s.writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
@@ -366,7 +340,7 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job, ok := s.Job(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, codeNotFound, "no job %q", id)
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "no job %q", id)
 		return
 	}
 	job.Cancel()
@@ -388,7 +362,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // real write). Load balancers should route on this, not /healthz.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if err := s.Ready(); err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, codeNotReady, "%v", err)
+		s.writeError(w, http.StatusServiceUnavailable, CodeNotReady, "%v", err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

@@ -198,8 +198,8 @@ func TestUnknownParamEnvelope(t *testing.T) {
 	if err := json.Unmarshal(body, &env); err != nil {
 		t.Fatalf("bad envelope %s: %v", body, err)
 	}
-	if env.Error.Code != codeUnknownParam {
-		t.Fatalf("code %q, want %q (body %s)", env.Error.Code, codeUnknownParam, body)
+	if env.Error.Code != CodeUnknownParam {
+		t.Fatalf("code %q, want %q (body %s)", env.Error.Code, CodeUnknownParam, body)
 	}
 	if len(env.Error.Suggestions) == 0 || env.Error.Suggestions[0] != "eps" {
 		t.Fatalf("suggestions = %v, want [eps ...]", env.Error.Suggestions)

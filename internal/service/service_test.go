@@ -210,12 +210,12 @@ func TestUnknownExperimentSuggestions(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", code)
 	}
-	var e apiError
+	var e ErrorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
-	if e.Error.Code != codeUnknownExperiment {
-		t.Fatalf("error code %q, want %q", e.Error.Code, codeUnknownExperiment)
+	if e.Error.Code != CodeUnknownExperiment {
+		t.Fatalf("error code %q, want %q", e.Error.Code, CodeUnknownExperiment)
 	}
 	ok := false
 	for _, sug := range e.Error.Suggestions {

@@ -54,21 +54,21 @@ func TestErrorEnvelopeUniform(t *testing.T) {
 		status                   int
 		code                     string
 	}{
-		{"bad body", "POST", "/v1/runs", `{not json`, http.StatusBadRequest, codeBadRequest},
-		{"unknown field", "POST", "/v1/runs", `{"bogus":1}`, http.StatusBadRequest, codeBadRequest},
-		{"unknown experiment", "POST", "/v1/runs", `{"experiments":["table1/brodcast"]}`, http.StatusBadRequest, codeUnknownExperiment},
-		{"empty submission", "POST", "/v1/runs", `{}`, http.StatusBadRequest, codeBadRequest},
-		{"job not found", "GET", "/v1/runs/job-999999", "", http.StatusNotFound, codeNotFound},
-		{"key not found", "GET", "/v1/runs/" + missingKey, "", http.StatusNotFound, codeNotFound},
-		{"delete job not found", "DELETE", "/v1/runs/job-999999", "", http.StatusNotFound, codeNotFound},
-		{"delete key not found", "DELETE", "/v1/runs/" + missingKey, "", http.StatusNotFound, codeNotFound},
-		{"bad limit", "GET", "/v1/runs?limit=abc", "", http.StatusBadRequest, codeBadRequest},
-		{"zero limit", "GET", "/v1/runs?limit=0", "", http.StatusBadRequest, codeBadRequest},
-		{"negative limit", "GET", "/v1/runs?limit=-3", "", http.StatusBadRequest, codeBadRequest},
-		{"unknown cursor", "GET", "/v1/runs?cursor=job-000099", "", http.StatusBadRequest, codeBadRequest},
+		{"bad body", "POST", "/v1/runs", `{not json`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown field", "POST", "/v1/runs", `{"bogus":1}`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown experiment", "POST", "/v1/runs", `{"experiments":["table1/brodcast"]}`, http.StatusBadRequest, CodeUnknownExperiment},
+		{"empty submission", "POST", "/v1/runs", `{}`, http.StatusBadRequest, CodeBadRequest},
+		{"job not found", "GET", "/v1/runs/job-999999", "", http.StatusNotFound, CodeNotFound},
+		{"key not found", "GET", "/v1/runs/" + missingKey, "", http.StatusNotFound, CodeNotFound},
+		{"delete job not found", "DELETE", "/v1/runs/job-999999", "", http.StatusNotFound, CodeNotFound},
+		{"delete key not found", "DELETE", "/v1/runs/" + missingKey, "", http.StatusNotFound, CodeNotFound},
+		{"bad limit", "GET", "/v1/runs?limit=abc", "", http.StatusBadRequest, CodeBadRequest},
+		{"zero limit", "GET", "/v1/runs?limit=0", "", http.StatusBadRequest, CodeBadRequest},
+		{"negative limit", "GET", "/v1/runs?limit=-3", "", http.StatusBadRequest, CodeBadRequest},
+		{"unknown cursor", "GET", "/v1/runs?cursor=job-000099", "", http.StatusBadRequest, CodeBadRequest},
 		// The deprecated aliases answer with the same envelope.
-		{"legacy job not found", "GET", "/runs/job-999999", "", http.StatusNotFound, codeNotFound},
-		{"legacy unknown experiment", "POST", "/runs", `{"experiments":["nope/nope"]}`, http.StatusBadRequest, codeUnknownExperiment},
+		{"legacy job not found", "GET", "/runs/job-999999", "", http.StatusNotFound, CodeNotFound},
+		{"legacy unknown experiment", "POST", "/runs", `{"experiments":["nope/nope"]}`, http.StatusBadRequest, CodeUnknownExperiment},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,7 +79,7 @@ func TestErrorEnvelopeUniform(t *testing.T) {
 			if ct := hdr.Get("Content-Type"); ct != "application/json" {
 				t.Fatalf("Content-Type %q, want application/json", ct)
 			}
-			var e apiError
+			var e ErrorEnvelope
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("body is not the error envelope: %v: %s", err, body)
 			}
@@ -247,8 +247,8 @@ func TestDeleteStoredRun(t *testing.T) {
 	if status != http.StatusNotFound {
 		t.Fatalf("second DELETE = %d, want 404", status)
 	}
-	var e apiError
-	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != codeNotFound {
+	var e ErrorEnvelope
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeNotFound {
 		t.Fatalf("second DELETE body = %s", body)
 	}
 }
@@ -278,8 +278,8 @@ func TestDeleteQuarantinedRunIs404(t *testing.T) {
 	if status != http.StatusNotFound {
 		t.Fatalf("DELETE corrupt entry = %d (%s), want 404", status, body)
 	}
-	var e apiError
-	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != codeNotFound {
+	var e ErrorEnvelope
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeNotFound {
 		t.Fatalf("DELETE corrupt entry body = %s", body)
 	}
 	if q := st.Stats().Quarantined; q != 1 {

@@ -1,0 +1,504 @@
+// Package workgen generates random-but-reproducible workloads for the
+// fuzzing subsystem. A workload is an explicit slot-scheduled communication
+// pattern — which processor injects which message at which slot in which
+// superstep — that the invariant oracles (internal/oracle) can drive through
+// the BSP(m)/QSM(m)/PRAM(m) engines and price against the cost models.
+//
+// Determinism is the load-bearing property: the same (family, seed, config)
+// yields a byte-identical workload on every platform and Go version, so a
+// failing seed reported by CI reproduces locally and a shrunk counterexample
+// checked into testdata/corpus/ replays forever. Following wazero's modgen,
+// one seed fans out into independent xrand sub-streams via xrand.Derive —
+// one stream per decision axis (shape, slot schedule, injection rates, DAG
+// edges) — so that tweaking how one axis consumes randomness does not
+// reshuffle every other axis's draws.
+package workgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"parbw/internal/bsp"
+	"parbw/internal/sched"
+	"parbw/internal/xrand"
+)
+
+// Version is the corpus format version stamped into every workload. Bump it
+// when the encoding changes incompatibly; Decode rejects unknown versions.
+const Version = 1
+
+// Family names a workload generator family.
+type Family string
+
+const (
+	// FamilyHRel emits slot-scheduled h-relations: every processor sends a
+	// bounded number of messages with uniform destinations, slots packed
+	// per-processor with random gaps — the paper's basic routing workload.
+	FamilyHRel Family = "hrel"
+	// FamilyDAG emits DAG-shaped dependency traffic in the style of BSP DAG
+	// scheduling: a random layered DAG over the processors; each superstep
+	// carries the edges between consecutive layers, so message (u → v)
+	// exists only if v depends on u.
+	FamilyDAG Family = "dag"
+	// FamilyBalls emits randomized balls-into-bins injection à la
+	// Lenzen–Wattenhofer: senders are uniform, destinations are drawn from a
+	// Zipf-skewed bin distribution, modeling contended random allocation.
+	FamilyBalls Family = "balls"
+)
+
+// Families lists the supported families in stable order.
+func Families() []Family { return []Family{FamilyHRel, FamilyDAG, FamilyBalls} }
+
+// ParseFamily validates a family name from a CLI flag or corpus file.
+func ParseFamily(s string) (Family, error) {
+	f := Family(s)
+	for _, known := range Families() {
+		if f == known {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("workgen: unknown family %q (want hrel, dag, or balls)", s)
+}
+
+// Hard resource caps enforced by Validate so that adversarial or corrupted
+// corpus input cannot allocate an unbounded machine. They bound everything
+// machine construction scales with.
+const (
+	MaxP          = 1 << 10
+	MaxSteps      = 1 << 6
+	MaxSendsTotal = 1 << 16
+	MaxSlot       = 1 << 20
+	MaxMsgLen     = 1 << 8
+)
+
+// GenConfig sizes a generated workload. The zero value of every field means
+// "draw from the shape stream"; pinning a field narrows the family without
+// breaking determinism of the remaining axes.
+type GenConfig struct {
+	Family Family
+	Seed   uint64
+	P      int     // processors; 0 = draw from [2, 64]
+	M      int     // machine bandwidth limit; 0 = draw from [1, P]
+	L      int     // latency/periodicity; 0 = draw from [1, 8]
+	Steps  int     // supersteps; 0 = draw from [1, 6]
+	MaxLen int     // max message flits; 0 = draw from [1, 4]
+	Load   float64 // mean sends per processor per superstep; 0 = draw from [0.25, 4]
+	Skew   float64 // Zipf exponent for balls destinations; 0 = draw from [0, 2]
+
+	// Adversarial makes the generator corrupt the finished workload in one
+	// seed-determined way (negative slot, out-of-range destination,
+	// duplicate (slot, proc) entry, negative length, or a lying total), for
+	// exercising rejection paths. Corrupted workloads must be rejected by
+	// Validate / sched.CheckSlotSchedule with a clean error, never a panic.
+	Adversarial bool
+}
+
+// Superstep is one communication phase of a workload.
+type Superstep struct {
+	Sends []sched.SlotSend `json:"sends"`
+}
+
+// Workload is a generated, explicitly slot-scheduled communication pattern
+// plus the machine shape it targets. Fields are exported and JSON-tagged in
+// declaration order; encoding/json preserves that order, making Encode
+// byte-stable.
+type Workload struct {
+	Version int         `json:"version"`
+	Family  Family      `json:"family"`
+	Seed    uint64      `json:"seed"`
+	P       int         `json:"p"`
+	M       int         `json:"m"`
+	L       int         `json:"l"`
+	Steps   []Superstep `json:"steps"`
+
+	// Declared totals, written by the generator. The oracles recompute both
+	// from the sends and flag any disagreement, so corruption anywhere in
+	// the pipeline (generator bug, shrink bug, corpus rot) is detectable;
+	// Validate deliberately does not cross-check them.
+	TotalSends int `json:"total_sends"`
+	TotalFlits int `json:"total_flits"`
+}
+
+// Encode returns the canonical byte encoding of w: compact JSON in struct
+// declaration order, terminated by a newline. Identical workloads encode to
+// identical bytes.
+func (w *Workload) Encode() ([]byte, error) {
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, fmt.Errorf("workgen: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses an encoded workload. It validates only JSON well-formedness
+// and the format version; run Validate before driving the workload through
+// a machine.
+func Decode(data []byte) (*Workload, error) {
+	var w Workload
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("workgen: decode: %w", err)
+	}
+	if w.Version != Version {
+		return nil, fmt.Errorf("workgen: unsupported corpus version %d (have %d)", w.Version, Version)
+	}
+	return &w, nil
+}
+
+// Validate checks that the workload is structurally sound and small enough
+// to simulate: machine shape in range, step and send counts under the
+// resource caps, and every superstep a valid slot schedule per
+// sched.CheckSlotSchedule. It never panics, whatever the input.
+func (w *Workload) Validate() error {
+	if w.Version != Version {
+		return fmt.Errorf("workgen: unsupported corpus version %d", w.Version)
+	}
+	if _, err := ParseFamily(string(w.Family)); err != nil {
+		return err
+	}
+	if w.P < 1 || w.P > MaxP {
+		return fmt.Errorf("workgen: p=%d out of range [1, %d]", w.P, MaxP)
+	}
+	if w.M < 1 || w.M > w.P {
+		return fmt.Errorf("workgen: m=%d out of range [1, p=%d]", w.M, w.P)
+	}
+	// The BSP cost models require L >= 1, so workloads declare at least that.
+	if w.L < 1 || w.L > MaxSlot {
+		return fmt.Errorf("workgen: l=%d out of range [1, %d]", w.L, MaxSlot)
+	}
+	if len(w.Steps) > MaxSteps {
+		return fmt.Errorf("workgen: %d supersteps exceeds cap %d", len(w.Steps), MaxSteps)
+	}
+	total := 0
+	for si, step := range w.Steps {
+		total += len(step.Sends)
+		if total > MaxSendsTotal {
+			return fmt.Errorf("workgen: more than %d sends total", MaxSendsTotal)
+		}
+		for _, s := range step.Sends {
+			if s.Slot > MaxSlot {
+				return fmt.Errorf("workgen: superstep %d: slot %d exceeds cap %d", si, s.Slot, MaxSlot)
+			}
+			if s.Len > MaxMsgLen {
+				return fmt.Errorf("workgen: superstep %d: len %d exceeds cap %d", si, s.Len, MaxMsgLen)
+			}
+		}
+		if err := sched.CheckSlotSchedule(w.P, step.Sends); err != nil {
+			return fmt.Errorf("workgen: superstep %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// CountSends returns the actual (sends, flits) totals recomputed from the
+// step data, ignoring the declared TotalSends/TotalFlits.
+func (w *Workload) CountSends() (sends, flits int) {
+	for _, step := range w.Steps {
+		sends += len(step.Sends)
+		for _, s := range step.Sends {
+			flits += s.Flits()
+		}
+	}
+	return sends, flits
+}
+
+// Plan converts one superstep into a sched.Plan (rows by processor, slots
+// dropped) for the randomized schedulers, which choose their own slots.
+func (w *Workload) Plan(step int) sched.Plan {
+	plan := make(sched.Plan, w.P)
+	for _, s := range w.Steps[step].Sends {
+		plan[s.Proc] = append(plan[s.Proc], bsp.Msg{Dst: int32(s.Dst), Len: int32(s.Len)})
+	}
+	return plan
+}
+
+// Hist returns the per-slot injection histogram of one superstep: hist[t] is
+// the number of flits entering the network at slot t, the m_t the cost
+// models price.
+func (w *Workload) Hist(step int) []int {
+	maxEnd := 0
+	for _, s := range w.Steps[step].Sends {
+		if end := s.Slot + s.Flits(); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	hist := make([]int, maxEnd)
+	for _, s := range w.Steps[step].Sends {
+		for f := 0; f < s.Flits(); f++ {
+			hist[s.Slot+f]++
+		}
+	}
+	return hist
+}
+
+// streams bundles the per-axis random sub-streams. One seed fans out into
+// one independent stream per decision axis, so axes never steal each
+// other's draws.
+type streams struct {
+	shape  *xrand.Source // machine and workload dimensions
+	slots  *xrand.Source // slot gaps within a processor's schedule
+	inject *xrand.Source // who sends how much, message lengths
+	edges  *xrand.Source // DAG edges / destination draws
+}
+
+func deriveStreams(family Family, seed uint64) streams {
+	prefix := "workgen/" + string(family) + "/"
+	return streams{
+		shape:  xrand.Derive(seed, prefix+"shape"),
+		slots:  xrand.Derive(seed, prefix+"slots"),
+		inject: xrand.Derive(seed, prefix+"inject"),
+		edges:  xrand.Derive(seed, prefix+"edges"),
+	}
+}
+
+// orDraw returns pinned if positive, otherwise lo + shape draw in [0, hi-lo].
+func orDraw(pinned int, rng *xrand.Source, lo, hi int) int {
+	if pinned > 0 {
+		return pinned
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// Generate emits the workload for cfg. The result is deterministic in
+// (cfg.Family, cfg.Seed, pinned fields): same inputs, same bytes from
+// Encode. Generate panics only on an invalid GenConfig (unknown family,
+// negative pins); everything drawn is in range by construction, and the
+// returned workload passes Validate unless cfg.Adversarial is set.
+func Generate(cfg GenConfig) *Workload {
+	if _, err := ParseFamily(string(cfg.Family)); err != nil {
+		panic(err)
+	}
+	if cfg.P < 0 || cfg.P > MaxP || cfg.M < 0 || cfg.L < 0 || cfg.Steps < 0 ||
+		cfg.Steps > MaxSteps || cfg.MaxLen < 0 || cfg.MaxLen > MaxMsgLen ||
+		cfg.Load < 0 || cfg.Skew < 0 {
+		panic(fmt.Sprintf("workgen: invalid GenConfig %+v", cfg))
+	}
+	st := deriveStreams(cfg.Family, cfg.Seed)
+
+	w := &Workload{Version: Version, Family: cfg.Family, Seed: cfg.Seed}
+	w.P = orDraw(cfg.P, st.shape, 2, 64)
+	w.M = orDraw(cfg.M, st.shape, 1, w.P)
+	if w.M > w.P {
+		w.M = w.P
+	}
+	w.L = orDraw(cfg.L, st.shape, 1, 8)
+	steps := orDraw(cfg.Steps, st.shape, 1, 6)
+	maxLen := orDraw(cfg.MaxLen, st.shape, 1, 4)
+	load := cfg.Load
+	if load == 0 {
+		load = 0.25 + st.shape.Float64()*3.75
+	}
+	skew := cfg.Skew
+	if skew == 0 {
+		skew = st.shape.Float64() * 2
+	}
+
+	switch cfg.Family {
+	case FamilyHRel:
+		genHRel(w, st, steps, maxLen, load)
+	case FamilyDAG:
+		genDAG(w, st, steps, maxLen)
+	case FamilyBalls:
+		genBalls(w, st, steps, load, skew)
+	}
+
+	w.TotalSends, w.TotalFlits = w.CountSends()
+	if cfg.Adversarial {
+		corrupt(w, xrand.Derive(cfg.Seed, "workgen/"+string(cfg.Family)+"/corrupt"))
+	}
+	return w
+}
+
+// slotPacker assigns non-overlapping slots within one processor's schedule
+// for one superstep: each send starts at the processor's next free slot
+// plus a small random gap.
+type slotPacker struct {
+	next []int
+	rng  *xrand.Source
+}
+
+func newPacker(p int, rng *xrand.Source) *slotPacker {
+	return &slotPacker{next: make([]int, p), rng: rng}
+}
+
+func (sp *slotPacker) place(proc, flits int) int {
+	slot := sp.next[proc] + sp.rng.Intn(3)
+	sp.next[proc] = slot + flits
+	return slot
+}
+
+func (sp *slotPacker) reset() {
+	for i := range sp.next {
+		sp.next[i] = 0
+	}
+}
+
+// capSends keeps the generator under the global send cap however extreme
+// the drawn shape is.
+func perStepBudget(steps int) int { return MaxSendsTotal / steps }
+
+func genHRel(w *Workload, st streams, steps, maxLen int, load float64) {
+	pack := newPacker(w.P, st.slots)
+	budget := perStepBudget(steps)
+	for t := 0; t < steps; t++ {
+		pack.reset()
+		var sends []sched.SlotSend
+		for i := 0; i < w.P && len(sends) < budget; i++ {
+			// Per-processor send count: geometric-ish around the load.
+			k := int(load)
+			if st.inject.Float64() < load-float64(k) {
+				k++
+			}
+			for j := 0; j < k && len(sends) < budget; j++ {
+				l := 1 + st.inject.Intn(maxLen)
+				s := sched.SlotSend{
+					Proc: i,
+					Dst:  st.edges.Intn(w.P),
+					Len:  l,
+				}
+				s.Slot = pack.place(i, s.Flits())
+				sends = append(sends, s)
+			}
+		}
+		w.Steps = append(w.Steps, Superstep{Sends: sends})
+	}
+}
+
+func genDAG(w *Workload, st streams, steps, maxLen int) {
+	// Layer the processors: a random assignment of procs to steps+1 layers;
+	// superstep t carries edges from layer t to layer t+1, each node
+	// depending on 1..3 predecessors. This is the DAG-scheduling shape: all
+	// traffic respects the dependency order, and a superstep may be empty
+	// if a layer has no nodes.
+	layers := make([][]int, steps+1)
+	for i := 0; i < w.P; i++ {
+		l := st.shape.Intn(steps + 1)
+		layers[l] = append(layers[l], i)
+	}
+	pack := newPacker(w.P, st.slots)
+	budget := perStepBudget(steps)
+	for t := 0; t < steps; t++ {
+		pack.reset()
+		var sends []sched.SlotSend
+		for _, v := range layers[t+1] {
+			if len(layers[t]) == 0 {
+				break
+			}
+			deps := 1 + st.edges.Intn(3)
+			for d := 0; d < deps && len(sends) < budget; d++ {
+				u := layers[t][st.edges.Intn(len(layers[t]))]
+				s := sched.SlotSend{
+					Proc: u,
+					Dst:  v,
+					Len:  1 + st.inject.Intn(maxLen),
+				}
+				s.Slot = pack.place(u, s.Flits())
+				sends = append(sends, s)
+			}
+		}
+		// Deterministic order: sort by (proc, slot) so the encoding does
+		// not depend on layer iteration order.
+		sort.Slice(sends, func(a, b int) bool {
+			if sends[a].Proc != sends[b].Proc {
+				return sends[a].Proc < sends[b].Proc
+			}
+			return sends[a].Slot < sends[b].Slot
+		})
+		w.Steps = append(w.Steps, Superstep{Sends: sends})
+	}
+}
+
+func genBalls(w *Workload, st streams, steps int, load, skew float64) {
+	// n balls per superstep, Zipf-skewed bins as destinations; each ball is
+	// a unit message from a uniform sender. A permutation decouples bin
+	// rank from processor id so bin 0 is not always processor 0.
+	n := int(load * float64(w.P))
+	if n < 1 {
+		n = 1
+	}
+	if b := perStepBudget(steps); n > b {
+		n = b
+	}
+	z := xrand.NewZipf(st.edges, w.P, skew)
+	binOf := st.shape.Perm(w.P)
+	pack := newPacker(w.P, st.slots)
+	for t := 0; t < steps; t++ {
+		pack.reset()
+		sends := make([]sched.SlotSend, 0, n)
+		for k := 0; k < n; k++ {
+			src := st.inject.Intn(w.P)
+			s := sched.SlotSend{
+				Proc: src,
+				Dst:  binOf[z.Draw()],
+				Len:  1,
+			}
+			s.Slot = pack.place(src, 1)
+			sends = append(sends, s)
+		}
+		sort.Slice(sends, func(a, b int) bool {
+			if sends[a].Proc != sends[b].Proc {
+				return sends[a].Proc < sends[b].Proc
+			}
+			return sends[a].Slot < sends[b].Slot
+		})
+		w.Steps = append(w.Steps, Superstep{Sends: sends})
+	}
+}
+
+// corrupt applies one seed-determined malformation so rejection paths can
+// be exercised deterministically. If the workload has no sends it falls
+// back to lying about the totals, which is always possible.
+func corrupt(w *Workload, rng *xrand.Source) {
+	type mutation func() bool // returns false if inapplicable
+	pick := func() (int, int, *sched.SlotSend) {
+		for si, step := range w.Steps {
+			if len(step.Sends) > 0 {
+				k := rng.Intn(len(step.Sends))
+				return si, k, &w.Steps[si].Sends[k]
+			}
+		}
+		return -1, -1, nil
+	}
+	muts := []mutation{
+		func() bool { // negative slot
+			_, _, s := pick()
+			if s == nil {
+				return false
+			}
+			s.Slot = -1 - rng.Intn(4)
+			return true
+		},
+		func() bool { // out-of-range destination
+			_, _, s := pick()
+			if s == nil {
+				return false
+			}
+			s.Dst = w.P + rng.Intn(4)
+			return true
+		},
+		func() bool { // duplicate (slot, proc) entry
+			si, _, s := pick()
+			if s == nil {
+				return false
+			}
+			w.Steps[si].Sends = append(w.Steps[si].Sends, *s)
+			return true
+		},
+		func() bool { // negative length
+			_, _, s := pick()
+			if s == nil {
+				return false
+			}
+			s.Len = -1 - rng.Intn(4)
+			return true
+		},
+		func() bool { // lying declared totals
+			w.TotalFlits += 1 + rng.Intn(100)
+			return true
+		},
+	}
+	i := rng.Intn(len(muts))
+	for !muts[i]() {
+		i = (i + 1) % len(muts)
+	}
+}

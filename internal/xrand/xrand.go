@@ -11,7 +11,11 @@
 // not cryptographically secure, which is fine for simulation.
 package xrand
 
-import "math"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
 
 // Source is a small, fast, deterministic PRNG. The zero value is a valid
 // source seeded with 0. Source is not safe for concurrent use; derive one
@@ -38,6 +42,29 @@ func splitmix64(s *uint64) uint64 {
 // Uint64 returns the next pseudo-random 64-bit value.
 func (s *Source) Uint64() uint64 {
 	return splitmix64(&s.state)
+}
+
+// Derive returns an independent Source for a (seed, label) pair: the stream
+// state is the first 8 bytes of SHA-256(seed as 8 little-endian bytes ||
+// label). Distinct labels under one seed yield statistically independent
+// streams, and the mapping is byte-stable across platforms and Go versions —
+// it depends only on SHA-256 and a fixed little-endian encoding, never on
+// host endianness, map order, or hash/maphash process seeds.
+//
+// Derive is the canonical way to fan one experiment seed out into per-axis
+// sub-streams ("workgen/hrel/slots", "contention/m=8", ...). Prefer it over
+// ad-hoc arithmetic like New(seed + k): offset seeds produce overlapping
+// SplitMix64 sequences (stream k's output is stream k+1's shifted by one),
+// while labeled derivation gives every axis its own independent stream and
+// names it for debugging.
+func Derive(seed uint64, label string) *Source {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	h.Write([]byte(label))
+	var sum [sha256.Size]byte
+	return &Source{state: binary.LittleEndian.Uint64(h.Sum(sum[:0]))}
 }
 
 // Split derives an independent child stream identified by id. Two children
