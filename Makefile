@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-baseline bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
+.PHONY: all build vet test race chaos bench bench-baseline bench-scale bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
 
 all: build test
 
@@ -39,6 +39,13 @@ bench:
 # Regenerate the checked-in baseline (run on a quiet machine).
 bench-baseline:
 	$(GO) run ./cmd/bandsim bench -out BENCH_baseline.json
+
+# The p-scaling block only (columnar engine at p = 10k / 100k / 2^20),
+# gated against the checked-in baseline, plus the million-processor heap
+# ceiling test. Divide a case's ns/op by its p for the per-processor cost.
+bench-scale:
+	$(GO) run ./cmd/bandsim bench -run '^superstep/bsp/p' -baseline BENCH_baseline.json -out -
+	$(GO) test -run TestScaleMillionProcessors -count=1 .
 
 # One benchmark per paper table/figure; simulated model time reported as
 # custom metrics (simtime-*, sep-x).

@@ -21,8 +21,9 @@ func runBench(args []string) error {
 	baseline := fs.String("baseline", "", "compare against this report and fail on regression")
 	benchtime := fs.String("benchtime", "1s", "per-case measurement budget (testing -benchtime syntax)")
 	tol := fs.Float64("tol", 0.20, "allowed fractional ns/op regression vs -baseline")
+	run := fs.String("run", "", "run only cases matching this regexp; -baseline is filtered the same way")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: bandsim bench [-out FILE] [-dry] [-baseline FILE] [-benchtime DUR] [-tol FRAC]
+		fmt.Fprintln(os.Stderr, `usage: bandsim bench [-out FILE] [-dry] [-baseline FILE] [-benchtime DUR] [-tol FRAC] [-run REGEXP]
 
 Runs the fixed hot-path suite (superstep merge per model, the static
 scheduling sweep, and quick Table 1 experiments) and writes a canonical
@@ -39,6 +40,7 @@ regressions and model-semantics drift.`)
 	rep, err := bench.Run(bench.Options{
 		Dry:       *dry,
 		BenchTime: *benchtime,
+		Run:       *run,
 		Timestamp: now.Format(time.RFC3339),
 	})
 	if err != nil {
@@ -81,6 +83,11 @@ regressions and model-semantics drift.`)
 		base, err := bench.Unmarshal(raw)
 		if err != nil {
 			return err
+		}
+		if *run != "" {
+			if base, err = base.Filter(*run); err != nil {
+				return err
+			}
 		}
 		if fails := bench.Compare(base, rep, *tol); len(fails) > 0 {
 			for _, f := range fails {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"regexp"
 	"runtime"
 	"sync"
 	"testing"
@@ -77,6 +78,12 @@ type Options struct {
 	// BenchTime is the per-case measurement budget in testing's
 	// -benchtime syntax ("1s", "200ms", "100x"). Empty keeps the default.
 	BenchTime string
+	// Run, if non-empty, restricts the suite to cases whose name matches
+	// this regular expression (unanchored, like `go test -run`). A pattern
+	// matching no case is an error. Filtered reports are for targeted runs
+	// (CI smoke jobs, local iteration); compare them against an equally
+	// filtered baseline (Report.Filter).
+	Run string
 	// Timestamp stamps the report (ignored in dry mode). Empty is allowed;
 	// the caller normally passes time.Now().UTC() formatted as RFC3339.
 	Timestamp string
@@ -122,6 +129,47 @@ func superstepPRAM() (*pram.Machine, func() pram.Stats) {
 		c.Write(p+c.ID(), v+1)
 	}
 	return m, func() pram.Stats { return m.Step(body) }
+}
+
+// superstepBSPScale builds a p-processor BSP(g) machine whose program sends
+// one single-flit neighbor message per processor — the p-scaling workload.
+// Workers is pinned to 1 so the measurement isolates per-processor engine
+// overhead (columnar resets, arena appends, counting-sort routing) from
+// goroutine fan-out, which is what makes the steady state allocation-free.
+func superstepBSPScale(p int) (*bsp.Machine, func() bsp.Stats) {
+	m := bsp.New(bsp.Config{P: p, Cost: model.BSPg(4, 16), Seed: 1, Workers: 1})
+	body := func(c *bsp.Ctx) {
+		i := c.ID()
+		c.Send((i+1)%p, 1, int64(i))
+	}
+	return m, func() bsp.Stats { return m.Superstep(body) }
+}
+
+// scaleCase wraps the p-scaling workload at one machine size. Dividing the
+// case's ns/op by p gives the per-processor superstep overhead; the curve
+// over the p10k/p100k/p1m cases is what README's scaling section reports.
+func scaleCase(name string, p int) Case {
+	return Case{
+		Name: name,
+		Bench: func(b *testing.B) {
+			_, step := superstepBSPScale(p)
+			step() // warm both halves of the double-buffered inbox slab
+			step()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		},
+		Model: func() string {
+			_, step := superstepBSPScale(p)
+			var st bsp.Stats
+			for i := 0; i < 3; i++ {
+				st = step()
+			}
+			return fmt.Sprintf("p=%d cost=%g n=%d h=%d maxslot=%d", p, st.Cost, st.N, st.H, st.MaxSlot)
+		},
+	}
 }
 
 // schedPlans builds the Section 6 skew shapes at the sched/static
@@ -266,6 +314,9 @@ func Suite() []Case {
 		table1Case("table1/onetoall"),
 		table1Case("table1/broadcast"),
 		table1Case("table1/parity"),
+		scaleCase("superstep/bsp/p10k", 10_000),
+		scaleCase("superstep/bsp/p100k", 100_000),
+		scaleCase("superstep/bsp/p1m", 1<<20),
 	}
 }
 
@@ -291,18 +342,35 @@ func Run(opts Options) (*Report, error) {
 			return nil, err
 		}
 	}
+	cases := Suite()
+	if opts.Run != "" {
+		re, err := regexp.Compile(opts.Run)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad -run pattern: %w", err)
+		}
+		kept := cases[:0]
+		for _, c := range cases {
+			if re.MatchString(c.Name) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("bench: -run %q matches no case", opts.Run)
+		}
+		cases = kept
+	}
 	rep := &Report{
 		Schema:      Schema,
 		CodeVersion: harness.CodeVersion,
 		Go:          runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Timestamp:   opts.Timestamp,
-		Results:     make([]Result, 0, len(Suite())),
+		Results:     make([]Result, 0, len(cases)),
 	}
 	if opts.Dry {
 		rep.Timestamp = "dry"
 	}
-	for _, c := range Suite() {
+	for _, c := range cases {
 		r := Result{Name: c.Name, Model: c.Model()}
 		if !opts.Dry {
 			br := testing.Benchmark(c.Bench)
@@ -336,6 +404,31 @@ func (r *Report) Marshal() ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// Filter returns a copy of the report containing only the results whose
+// name matches pattern (unanchored regexp), with the checksum recomputed
+// over the surviving cases. It is how a full baseline is narrowed before
+// comparing against a report produced with Options.Run. A pattern matching
+// no result is an error — comparing against an empty baseline would pass
+// vacuously.
+func (r *Report) Filter(pattern string) (*Report, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bench: bad filter pattern: %w", err)
+	}
+	out := *r
+	out.Results = nil
+	for _, res := range r.Results {
+		if re.MatchString(res.Name) {
+			out.Results = append(out.Results, res)
+		}
+	}
+	if len(out.Results) == 0 {
+		return nil, fmt.Errorf("bench: filter %q matches no case in report", pattern)
+	}
+	out.ModelChecksum = checksum(out.Results)
+	return &out, nil
 }
 
 // Unmarshal parses a report and checks the schema tag.

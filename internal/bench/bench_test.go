@@ -48,6 +48,7 @@ func TestSuiteCases(t *testing.T) {
 		"superstep/bsp", "superstep/qsm", "superstep/pram",
 		"sched/static",
 		"table1/onetoall", "table1/broadcast", "table1/parity",
+		"superstep/bsp/p10k", "superstep/bsp/p100k", "superstep/bsp/p1m",
 	}
 	cases := Suite()
 	if len(cases) != len(want) {
@@ -57,6 +58,44 @@ func TestSuiteCases(t *testing.T) {
 		if c.Name != want[i] {
 			t.Errorf("case %d = %q, want %q", i, c.Name, want[i])
 		}
+	}
+}
+
+// Options.Run restricts the suite by regexp; the filtered dry report must be
+// the corresponding subset of the full one, and a non-matching pattern must
+// error rather than emit an empty report.
+func TestRunFilter(t *testing.T) {
+	full, err := Run(Options{Dry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Run(Options{Dry: true, Run: `^superstep/bsp/p`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Results) != 3 {
+		t.Fatalf("filtered run has %d cases, want 3", len(sub.Results))
+	}
+	for _, r := range sub.Results {
+		if !strings.HasPrefix(r.Name, "superstep/bsp/p") {
+			t.Fatalf("filtered run kept %q", r.Name)
+		}
+	}
+	want, err := full.Filter(`^superstep/bsp/p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.ModelChecksum != sub.ModelChecksum {
+		t.Fatalf("filtered run checksum %s, want baseline-filtered %s", sub.ModelChecksum, want.ModelChecksum)
+	}
+	if fails := Compare(want, sub, 0.20); len(fails) != 0 {
+		t.Fatalf("filtered run vs filtered baseline: %v", fails)
+	}
+	if _, err := Run(Options{Dry: true, Run: "nosuchcase"}); err == nil {
+		t.Fatal("Run accepted a pattern matching no case")
+	}
+	if _, err := full.Filter("nosuchcase"); err == nil {
+		t.Fatal("Filter accepted a pattern matching no case")
 	}
 }
 

@@ -95,30 +95,57 @@ type Config struct {
 // Machine is a simulated BSP machine. Methods must be called from a single
 // driver goroutine; the per-processor programs passed to Superstep run
 // concurrently with each other but never concurrently with the driver.
+//
+// Per-processor state is columnar: counters and cursors live in flat
+// engine.Cols arrays indexed by processor id, queued sends live in O(cores)
+// chunk-local arenas addressed by the Off/Cnt columns, and inboxes are
+// offset columns over one routed message slab. A Ctx is a thin
+// index-plus-pointer view over that state, so machine memory is O(p) flat
+// words plus O(cores) objects — never O(p) objects.
 type Machine struct {
 	p    int
 	cost model.Cost
 	core *engine.Core[Stats]
+	cols *engine.Cols
 
-	ctxs  []Ctx
-	inbox [][]Msg // inbox[i]: messages delivered to processor i, readable this superstep
-	spare [][]Msg // recycled per-destination views for the next superstep
+	// shards are the chunk-local send arenas: chunk r of the fan-out (the
+	// contiguous processors [r·width, (r+1)·width)) appends its sends to
+	// shards[r].buf, recycled across supersteps. Each shard also carries the
+	// one Ctx its chunk's programs share, so live per-step state is O(cores).
+	width  int
+	shards []shard
 
-	// slabs double-buffer the message storage behind the inbox views: each
-	// merge counting-sorts every sent message into one flat slab and points
-	// the per-destination views at disjoint subslices of it. Two slabs give
-	// routed messages the same lifetime the old ragged buffers had — the
-	// inbox of the superstep in flight is never overwritten by the merge
-	// that builds the next one. cur indexes the slab backing inbox.
-	slabs [2]engine.Slab[Msg]
-	cur   int
+	// inbox is the current routed message slab in destination order; inOff
+	// (length p+1) carves it into per-destination views, spareOff is the
+	// column the next merge fills before the swap. slabs double-buffer the
+	// storage: the inbox of the superstep in flight is never overwritten by
+	// the merge that builds the next one. cur indexes the slab backing inbox.
+	inbox    []Msg
+	inOff    []int32
+	spareOff []int32
+	slabs    [2]engine.Slab[Msg]
+	cur      int
 
 	// fn is the program of the superstep in flight; body and mergeFn are the
 	// closures handed to the engine core, built once so that Superstep itself
 	// is allocation-free.
 	fn      func(c *Ctx)
-	body    func(i int)
+	body    func(lo, hi int)
 	mergeFn func() (Stats, engine.StepStats)
+}
+
+// shard is one chunk's recycled send arena plus the Ctx view its programs
+// run under. Chunks are disjoint contiguous processor ranges, so a shard is
+// only ever touched by the one goroutine running its chunk.
+type shard struct {
+	buf []send
+	ctx Ctx
+}
+
+// sends returns processor i's queued run inside its shard's arena.
+func (m *Machine) sends(i int) []send {
+	off := m.cols.Off[i]
+	return m.shards[i/m.width].buf[off : off+m.cols.Cnt[i]]
 }
 
 // New constructs a Machine from either the package-native Config or the
@@ -150,25 +177,32 @@ func newMachine(cfg Config) *Machine {
 		panic("bsp: " + err.Error())
 	}
 	m := &Machine{
-		p:     cfg.P,
-		cost:  cfg.Cost,
-		core:  engine.NewCore[Stats]("bsp", cfg.P, cfg.Workers, cfg.Trace),
-		ctxs:  make([]Ctx, cfg.P),
-		inbox: make([][]Msg, cfg.P),
-		spare: make([][]Msg, cfg.P),
+		p:        cfg.P,
+		cost:     cfg.Cost,
+		core:     engine.NewCore[Stats]("bsp", cfg.P, cfg.Workers, cfg.Trace),
+		cols:     engine.NewCols(cfg.P, cfg.Seed),
+		inOff:    make([]int32, cfg.P+1),
+		spareOff: make([]int32, cfg.P+1),
 	}
 	m.core.Attach(cfg.Observer)
-	root := xrand.New(cfg.Seed)
-	for i := range m.ctxs {
-		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
+	width, chunks := m.core.ChunkPlan(cfg.P)
+	m.width = width
+	m.shards = make([]shard, chunks)
+	for r := range m.shards {
+		m.shards[r].ctx = Ctx{m: m, sh: &m.shards[r]}
 	}
-	m.body = func(i int) {
-		c := &m.ctxs[i]
-		c.work = 0
-		c.sends = c.sends[:0]
-		c.autoSlot = 0
-		c.recvUsed = false
-		m.fn(c)
+	m.body = func(lo, hi int) {
+		sh := &m.shards[lo/m.width]
+		sh.buf = sh.buf[:0]
+		c := &sh.ctx
+		cols := m.cols
+		for i := lo; i < hi; i++ {
+			cols.ResetProc(i)
+			cols.Off[i] = int32(len(sh.buf))
+			cols.Cnt[i] = 0
+			c.id = i
+			m.fn(c)
+		}
 	}
 	m.mergeFn = m.merge
 	return m
@@ -204,16 +238,13 @@ func (m *Machine) Attach(obs engine.Observer) { m.core.Attach(obs) }
 func (m *Machine) ChargeTime(t model.Time) { m.core.ChargeTime(t) }
 
 // Ctx is the per-processor view of the current superstep. A Ctx is valid
-// only inside the program function of the superstep it was passed to.
+// only inside the program function of the superstep it was passed to. It is
+// a thin index-plus-pointer view: the state it reads and writes lives in
+// the machine's columnar arrays and its chunk's send arena.
 type Ctx struct {
-	id  int
-	m   *Machine
-	rng *xrand.Source
-
-	work     int
-	sends    []send
-	autoSlot int
-	recvUsed bool
+	id int
+	m  *Machine
+	sh *shard
 }
 
 // ID returns this processor's index in [0, P).
@@ -226,13 +257,14 @@ func (c *Ctx) P() int { return c.m.p }
 func (c *Ctx) L() int { return c.m.cost.L }
 
 // RNG returns this processor's private deterministic random source. The
-// source persists across supersteps.
-func (c *Ctx) RNG() *xrand.Source { return c.rng }
+// source persists across supersteps (it is derived lazily on first use,
+// byte-for-byte identical to an eager per-processor split of the seed).
+func (c *Ctx) RNG() *xrand.Source { return c.m.cols.RNG(c.id) }
 
 // Charge records units of local computation performed this superstep.
 func (c *Ctx) Charge(units int) {
 	if units > 0 {
-		c.work += units
+		c.m.cols.Work[c.id] += units
 	}
 }
 
@@ -240,8 +272,8 @@ func (c *Ctx) Charge(units int) {
 // previous superstep. The slice is owned by the engine and must not be
 // retained past the program function.
 func (c *Ctx) Recv() []Msg {
-	c.recvUsed = true
-	return c.m.inbox[c.id]
+	c.m.cols.RecvUsed[c.id] = true
+	return c.m.inboxView(c.id)
 }
 
 // Send enqueues msg to dst, assigning the message's flits to this
@@ -252,7 +284,7 @@ func (c *Ctx) Send(dst int, tag uint8, a int64) {
 
 // SendMsg enqueues msg to dst at this processor's next free injection steps.
 func (c *Ctx) SendMsg(dst int, msg Msg) {
-	c.sendAt(c.autoSlot, dst, msg)
+	c.sendAt(c.m.cols.AutoSlot[c.id], dst, msg)
 }
 
 // SendAt enqueues msg to dst with its first flit injected at step slot
@@ -267,20 +299,22 @@ func (c *Ctx) SendAt(slot, dst int, msg Msg) {
 }
 
 // sendAt is the per-message hot path: it normalizes the message and appends
-// it to the processor's schedule. The invalid-destination panic lives in a
-// separate function so sendAt stays within the inlining budget — enqueueing
-// a message is a bounds check plus one 48-byte append.
+// it to the processor's run in the chunk's send arena. The
+// invalid-destination panic lives in a separate function so sendAt stays
+// within the inlining budget — enqueueing a message is a bounds check plus
+// one 56-byte arena append and two column stores.
 func (c *Ctx) sendAt(slot, dst int, msg Msg) {
 	if dst < 0 || dst >= c.m.p {
 		c.badDst(dst)
 	}
-	n := len(c.sends)
-	if n == cap(c.sends) {
-		c.sends = append(c.sends, send{})
+	buf := c.sh.buf
+	n := len(buf)
+	if n == cap(buf) {
+		buf = append(buf, send{})
 	} else {
-		c.sends = c.sends[:n+1]
+		buf = buf[:n+1]
 	}
-	s := &c.sends[n]
+	s := &buf[n]
 	s.slot = slot
 	s.msg = msg
 	s.msg.Src = int32(c.id)
@@ -288,8 +322,11 @@ func (c *Ctx) sendAt(slot, dst int, msg Msg) {
 	if msg.Len <= 0 {
 		s.msg.Len = 1
 	}
-	if end := slot + int(s.msg.Len); end > c.autoSlot {
-		c.autoSlot = end
+	c.sh.buf = buf
+	cols := c.m.cols
+	cols.Cnt[c.id]++
+	if end := slot + int(s.msg.Len); end > cols.AutoSlot[c.id] {
+		cols.AutoSlot[c.id] = end
 	}
 }
 
@@ -318,6 +355,13 @@ const insertionSortMax = 32
 // overhead (a variable so tests can force either path).
 var parallelRouteMin = 2048
 
+// parallelRouteGrid caps the parallel router's chunk×destination count
+// matrix at this multiple of the step's message count: above it, the O(
+// chunks·p) grid would dominate the work (and, at p in the millions, the
+// memory), so the serial placement — O(total + p) — wins. A variable so
+// tests can force either path.
+var parallelRouteGrid = 4
+
 // merge is the BSP merge strategy: it validates injection schedules, builds
 // the per-step histogram, counting-sorts messages into the next inbox slab,
 // and computes the cost.
@@ -332,17 +376,19 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	// processor's step span is simply the last interval's end. The sort and
 	// the overlap check are inlined on the concrete send type: the generic
 	// closure-based engine.CheckSchedule was the hottest single item in the
-	// pre-rework merge profile.
+	// pre-rework merge profile. Processors are walked shard by shard —
+	// shards hold contiguous ascending processor ranges, so this is
+	// processor order without a per-processor division.
 	recv := m.core.Ledger() // flits destined per processor
 	cnt := m.core.Offsets() // messages destined per processor
+	cols := m.cols
 	maxStep := 0
 	total := 0 // messages this superstep
-	for i := range m.ctxs {
-		c := &m.ctxs[i]
-		if c.work > st.W {
-			st.W = c.work
+	for i := 0; i < m.p; i++ {
+		if w := cols.Work[i]; w > st.W {
+			st.W = w
 		}
-		sends := c.sends
+		sends := m.sends(i)
 		if n := len(sends); n > 1 {
 			if n <= insertionSortMax {
 				for a := 1; a < n; a++ {
@@ -380,23 +426,22 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	st.Steps = maxStep
 
 	// Bucket layout: exclusive prefix sum over the per-destination counts
-	// turns them into placement cursors, and the per-destination inbox
-	// views are carved out of the flat slab up front. The views are
-	// three-index subslices (cap == len), so a later Deliver append cannot
-	// clobber a neighboring bucket. The slab, histogram, ledger and view
-	// arrays are all recycled across supersteps; Recv slices are therefore
-	// only valid within their superstep, as documented.
+	// turns them into placement cursors and fills the spare offset column
+	// that will carve per-destination inbox views out of the flat slab. The
+	// slab, histogram, ledger and offset columns are all recycled across
+	// supersteps; Recv slices are therefore only valid within their
+	// superstep, as documented.
 	hist := m.core.Hist(maxStep)
 	slab := m.slabs[1-m.cur].Take(total)
-	next := m.spare
+	nextOff := m.spareOff
 	acc := 0
-	for d := range next {
+	for d := 0; d < m.p; d++ {
+		nextOff[d] = int32(acc)
 		k := cnt[d]
-		end := acc + k
-		next[d] = slab[acc:end:end]
 		cnt[d] = acc
-		acc = end
+		acc += k
 	}
+	nextOff[m.p] = int32(acc)
 
 	// Pass 2: the per-step injection histogram and the counting-sort
 	// placement. Every message's slab position is determined by the
@@ -406,11 +451,11 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	// multi-worker machine take the destination-sharded parallel passes
 	// instead; they compute the same positions chunk-locally, so the slab
 	// contents are byte-identical either way.
-	if m.core.Workers() > 1 && total >= parallelRouteMin {
+	if m.core.Workers() > 1 && total >= parallelRouteMin && m.gridFits(maxStep, total) {
 		m.routeParallel(slab, hist, cnt)
 	} else {
-		for i := range m.ctxs {
-			sends := m.ctxs[i].sends
+		for i := 0; i < m.p; i++ {
+			sends := m.sends(i)
 			for k := range sends {
 				s := &sends[k]
 				end := s.slot + int(s.msg.Len)
@@ -445,8 +490,8 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	}
 	st.Cost = m.cost.BSPSuperstep(st.W, st.H, st.N, hist)
 
-	m.spare = m.inbox
-	m.inbox = next
+	m.inbox = slab
+	m.inOff, m.spareOff = m.spareOff, m.inOff
 	m.cur = 1 - m.cur
 	return st, engine.StepStats{
 		W: st.W, H: st.H, N: st.N,
@@ -455,20 +500,32 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	}
 }
 
+// gridFits reports whether the parallel router's chunk×destination count
+// matrix is small enough relative to the step's traffic to be worth
+// building. At bench-scale machines (hundreds of processors) it always is;
+// at p in the millions a sparse step would spend more on the grid than on
+// the messages, so the serial placement runs instead. Either path produces
+// a byte-identical slab.
+func (m *Machine) gridFits(nh, total int) bool {
+	return len(m.shards)*(m.p+nh) <= parallelRouteGrid*total
+}
+
 // routeParallel is the destination-sharded routing used for large steps on
-// multi-worker machines: each worker chunk of processors counts its own
-// messages per destination and its own injection histogram into a recycled
+// multi-worker machines: each worker chunk counts its own messages per
+// destination and its own injection histogram into a recycled
 // chunk×destination grid (no global map, no locks), a serial reduce turns
 // the chunk counts into exact slab positions (bucket start + messages the
 // earlier chunks place in that bucket), and a second parallel pass writes
-// every message to its precomputed position. Positions depend only on
-// (processor order, slot order within processor), never on worker
-// scheduling, so the slab is byte-identical to the serial path for any
-// worker count.
+// every message to its precomputed position. The fan-out chunks coincide
+// with the send shards, and a shard's arena is its processors' runs
+// concatenated in (processor, slot-sorted) order, so the passes scan each
+// arena linearly. Positions depend only on (processor order, slot order
+// within processor), never on worker scheduling, so the slab is
+// byte-identical to the serial path for any worker count.
 func (m *Machine) routeParallel(slab []Msg, hist []int, cur []int) {
 	p := m.p
 	nh := len(hist)
-	width, chunks := m.core.ChunkPlan(p)
+	width, chunks := m.width, len(m.shards)
 	grid := m.core.Grid(chunks * (p + nh))
 	cnts := grid[:chunks*p]
 	hists := grid[chunks*p:]
@@ -477,16 +534,14 @@ func (m *Machine) routeParallel(slab []Msg, hist []int, cur []int) {
 		r := lo / width
 		crow := cnts[r*p : (r+1)*p]
 		hrow := hists[r*nh : (r+1)*nh]
-		for i := lo; i < hi; i++ {
-			sends := m.ctxs[i].sends
-			for k := range sends {
-				s := &sends[k]
-				end := s.slot + int(s.msg.Len)
-				for f := s.slot; f < end; f++ {
-					hrow[f]++
-				}
-				crow[int(s.msg.Dst)]++
+		sends := m.shards[r].buf
+		for k := range sends {
+			s := &sends[k]
+			end := s.slot + int(s.msg.Len)
+			for f := s.slot; f < end; f++ {
+				hrow[f]++
 			}
+			crow[int(s.msg.Dst)]++
 		}
 	})
 
@@ -509,39 +564,72 @@ func (m *Machine) routeParallel(slab []Msg, hist []int, cur []int) {
 	m.core.ForChunks(p, func(lo, hi int) {
 		r := lo / width
 		crow := cnts[r*p : (r+1)*p]
-		for i := lo; i < hi; i++ {
-			sends := m.ctxs[i].sends
-			for k := range sends {
-				d := int(sends[k].msg.Dst)
-				slab[crow[d]] = sends[k].msg
-				crow[d]++
-			}
+		sends := m.shards[r].buf
+		for k := range sends {
+			d := int(sends[k].msg.Dst)
+			slab[crow[d]] = sends[k].msg
+			crow[d]++
 		}
 	})
 }
 
+// inboxView carves processor i's inbox out of the routed slab. The view is
+// a three-index subslice (cap == len), so an append past it — Deliver's old
+// behavior, or a misbehaving caller — reallocates rather than clobbering a
+// neighboring bucket.
+func (m *Machine) inboxView(i int) []Msg {
+	lo, hi := m.inOff[i], m.inOff[i+1]
+	return m.inbox[lo:hi:hi]
+}
+
 // Inbox returns processor i's current inbox (the messages it would see via
 // Recv in the next superstep). Intended for drivers and tests.
-func (m *Machine) Inbox(i int) []Msg { return m.inbox[i] }
+func (m *Machine) Inbox(i int) []Msg { return m.inboxView(i) }
 
-// Deliver injects messages directly into inboxes without cost, bypassing the
-// network. It models free input distribution in experiments whose problem
-// statement places inputs at processors (and is also convenient in tests).
+// Deliver injects messages directly into inboxes without cost, bypassing
+// the network. It models free input distribution in experiments whose
+// problem statement places inputs at processors (and is also convenient in
+// tests). The inbox slab is destination-ordered, so Deliver rebuilds it
+// with the new messages appended to their destinations' buckets (existing
+// messages first, then the new ones in argument order); it is a setup path
+// and may allocate.
 func (m *Machine) Deliver(msgs []Msg) {
 	for _, msg := range msgs {
-		d := int(msg.Dst)
-		if d < 0 || d >= m.p {
+		if d := int(msg.Dst); d < 0 || d >= m.p {
 			panic(fmt.Sprintf("bsp: Deliver to invalid dst %d", d))
 		}
-		m.inbox[d] = append(m.inbox[d], msg)
 	}
+	add := make([]int32, m.p+1)
+	for _, msg := range msgs {
+		add[msg.Dst]++
+	}
+	merged := make([]Msg, len(m.inbox)+len(msgs))
+	newOff := make([]int32, m.p+1)
+	acc := int32(0)
+	for d := 0; d < m.p; d++ {
+		newOff[d] = acc
+		acc += m.inOff[d+1] - m.inOff[d] + add[d]
+	}
+	newOff[m.p] = acc
+	// Place existing bucket contents, then the new messages in argument
+	// order; add[] doubles as the per-destination write cursor.
+	for d := 0; d < m.p; d++ {
+		add[d] = newOff[d] + int32(copy(merged[newOff[d]:], m.inbox[m.inOff[d]:m.inOff[d+1]]))
+	}
+	for _, msg := range msgs {
+		merged[add[msg.Dst]] = msg
+		add[msg.Dst]++
+	}
+	m.inbox = merged
+	m.inOff = newOff
 }
 
 // Reset clears inboxes, time and trace, preserving processors and RNG state.
 func (m *Machine) Reset() {
-	for i := range m.inbox {
-		m.inbox[i] = nil
-		m.spare[i] = nil
+	m.inbox = nil
+	for i := range m.inOff {
+		m.inOff[i] = 0
+		m.spareOff[i] = 0
 	}
 	m.core.ResetClock()
 }

@@ -85,6 +85,33 @@ func TestParallelRouteThreshold(t *testing.T) {
 	}
 }
 
+// Closing the grid gate (a sparse step on a huge machine, where the
+// chunk×destination matrix would dwarf the traffic) must drop the
+// multi-worker machine back to the serial placement — and the delivered
+// traffic must still be exactly the serial machine's.
+func TestParallelRouteGridGate(t *testing.T) {
+	oldMin, oldGrid := parallelRouteMin, parallelRouteGrid
+	parallelRouteMin = 1
+	parallelRouteGrid = 0 // gate always closed
+	defer func() { parallelRouteMin, parallelRouteGrid = oldMin, oldGrid }()
+
+	serialBoxes, serialStats := runRouted(96, 6, 1, 3)
+	gatedBoxes, gatedStats := runRouted(96, 6, 4, 3)
+	if serialStats != gatedStats {
+		t.Fatalf("stats diverge: serial %+v gated %+v", serialStats, gatedStats)
+	}
+	for i := range serialBoxes {
+		if len(serialBoxes[i]) != len(gatedBoxes[i]) {
+			t.Fatalf("proc %d inbox length %d vs %d", i, len(serialBoxes[i]), len(gatedBoxes[i]))
+		}
+		for k := range serialBoxes[i] {
+			if serialBoxes[i][k] != gatedBoxes[i][k] {
+				t.Fatalf("proc %d msg %d differs", i, k)
+			}
+		}
+	}
+}
+
 // Deliver must never clobber a neighboring routed bucket: the inbox views
 // are capacity-clamped subslices of one shared slab, so an append past a
 // view's length has to reallocate rather than overwrite.

@@ -129,26 +129,27 @@ func (c *Core[S]) Ledger() []int {
 // oldest first. The ring is always on (histogram snapshots excluded), so a
 // machine can be inspected after the fact without configuring a trace.
 func (c *Core[S]) Recent() []StepStats {
-	n := c.ringN
-	if n > ringCap {
-		n = ringCap
+	start := 0
+	if c.ringN > ringCap {
+		start = c.ringN - ringCap
 	}
-	out := make([]StepStats, 0, n)
-	start := c.ringN - n
+	out := make([]StepStats, 0, c.ringN-start)
 	for i := start; i < c.ringN; i++ {
 		out = append(out, c.ring[i%ringCap])
 	}
 	return out
 }
 
-// Step drives one superstep: body runs for every processor index on the
-// worker pool (reset the processor's context and execute its program), then
-// merge — the model-specific strategy — validates schedules, routes traffic,
-// and prices the step, returning the machine's native Stats together with
-// the normalized StepStats view. Core commits the result: clock, counters,
-// trace, ring, observers.
-func (c *Core[S]) Step(body func(i int), merge func() (S, StepStats)) S {
-	c.pool.For(c.p, body)
+// Step drives one superstep: body runs once per contiguous processor chunk
+// on the worker pool (reset each chunk processor's state and execute its
+// program — chunk boundaries follow ChunkPlan, so live goroutine and
+// closure state is O(cores), never O(p)), then merge — the model-specific
+// strategy — validates schedules, routes traffic, and prices the step,
+// returning the machine's native Stats together with the normalized
+// StepStats view. Core commits the result: clock, counters, trace, ring,
+// observers.
+func (c *Core[S]) Step(body func(lo, hi int), merge func() (S, StepStats)) S {
+	c.pool.ForChunks(c.p, body)
 	st, view := merge()
 	view.Machine = c.label
 	view.Index = c.steps

@@ -1,13 +1,14 @@
 package engine
 
 import (
+	"sync"
 	"testing"
 )
 
 // step drives one trivial superstep on c whose merge reports the given cost
 // and traffic.
 func step(c *Core[int], cost float64, n, maxSlot, overload int) {
-	c.Step(func(i int) {}, func() (int, StepStats) {
+	c.Step(func(lo, hi int) {}, func() (int, StepStats) {
 		return c.Steps() + 1, StepStats{N: n, MaxSlot: maxSlot, Overload: overload, Cost: cost}
 	})
 }
@@ -53,7 +54,14 @@ func TestCoreBodyRunsEveryProcessor(t *testing.T) {
 	const p = 100
 	c := NewCore[int]("test", p, 4, false)
 	hits := make([]int, p)
-	c.Step(func(i int) { hits[i]++ }, func() (int, StepStats) { return 0, StepStats{} })
+	var mu sync.Mutex
+	c.Step(func(lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	}, func() (int, StepStats) { return 0, StepStats{} })
 	for i, h := range hits {
 		if h != 1 {
 			t.Fatalf("processor %d ran %d times", i, h)
@@ -119,6 +127,38 @@ func TestRecentRing(t *testing.T) {
 		}
 		if rec[i].Hist != nil {
 			t.Fatal("ring entry retained a histogram alias")
+		}
+	}
+}
+
+// TestRecentAtRingBoundary pins Recent's behavior at the wraparound edge:
+// exactly ringCap committed steps must return all of them in order, and one
+// more must drop exactly the oldest.
+func TestRecentAtRingBoundary(t *testing.T) {
+	c := NewCore[int]("test", 1, 1, false)
+	for i := 0; i < ringCap; i++ {
+		step(c, float64(i), 0, 0, 0)
+	}
+	rec := c.Recent()
+	if len(rec) != ringCap {
+		t.Fatalf("at %d steps Recent returned %d entries", ringCap, len(rec))
+	}
+	if rec[0].Index != 0 || rec[ringCap-1].Index != ringCap-1 {
+		t.Fatalf("at %d steps Recent spans [%d, %d]", ringCap, rec[0].Index, rec[ringCap-1].Index)
+	}
+
+	step(c, 0, 0, 0, 0) // step ringCap+1 evicts exactly index 0
+	rec = c.Recent()
+	if len(rec) != ringCap {
+		t.Fatalf("at %d steps Recent returned %d entries", ringCap+1, len(rec))
+	}
+	if rec[0].Index != 1 || rec[ringCap-1].Index != ringCap {
+		t.Fatalf("at %d steps Recent spans [%d, %d], want [1, %d]",
+			ringCap+1, rec[0].Index, rec[ringCap-1].Index, ringCap)
+	}
+	for i := 1; i < len(rec); i++ {
+		if rec[i].Index != rec[i-1].Index+1 {
+			t.Fatalf("ring not in order at %d", i)
 		}
 	}
 }

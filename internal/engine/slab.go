@@ -17,21 +17,42 @@ package engine
 // unspecified — callers overwrite every element. The returned slice is
 // valid until the next Take.
 //
+// Capacity also decays: one adversarial superstep must not pin its peak for
+// the machine's lifetime, so after slabDecayAfter consecutive Takes using
+// under a quarter of the retained capacity the slab shrinks to twice the
+// latest demand. A workload that oscillates near its capacity never decays
+// (any Take at >= 25% utilization resets the streak), so steady-state
+// supersteps stay allocation-free.
+//
 // A Slab is owned by one machine and must not be shared across goroutines.
 type Slab[T any] struct {
 	buf []T
+	low int // consecutive Takes under 25% of capacity
 }
+
+// slabDecayAfter is the length of the low-utilization streak that triggers
+// a shrink.
+const slabDecayAfter = 32
 
 // Take returns a slice of length n, reusing the slab's capacity.
 func (s *Slab[T]) Take(n int) []T {
-	if cap(s.buf) < n {
+	switch c := cap(s.buf); {
+	case c < n:
 		// Grow with headroom so a slowly-growing workload does not
 		// reallocate every step.
-		c := 2 * cap(s.buf)
-		if c < n {
-			c = n
+		nc := 2 * c
+		if nc < n {
+			nc = n
 		}
-		s.buf = make([]T, c)
+		s.buf = make([]T, nc)
+		s.low = 0
+	case n*4 < c:
+		if s.low++; s.low >= slabDecayAfter {
+			s.buf = make([]T, 2*n)
+			s.low = 0
+		}
+	default:
+		s.low = 0
 	}
 	s.buf = s.buf[:n]
 	return s.buf

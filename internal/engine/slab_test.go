@@ -1,0 +1,77 @@
+package engine
+
+import "testing"
+
+func TestSlabTakeGrowsAndRecycles(t *testing.T) {
+	var s Slab[int]
+	a := s.Take(10)
+	if len(a) != 10 || s.Cap() < 10 {
+		t.Fatalf("len=%d cap=%d after Take(10)", len(a), s.Cap())
+	}
+	b := s.Take(8)
+	if len(b) != 8 {
+		t.Fatalf("len=%d after Take(8)", len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("Take(8) did not recycle the retained capacity")
+	}
+}
+
+// TestSlabDecay exercises the high-water release: a single huge step must
+// not pin its peak capacity forever, but the shrink must wait out
+// slabDecayAfter consecutive low-utilization Takes so steady workloads
+// never thrash.
+func TestSlabDecay(t *testing.T) {
+	var s Slab[int]
+	s.Take(1 << 20)
+	high := s.Cap()
+	if high < 1<<20 {
+		t.Fatalf("cap=%d after Take(1<<20)", high)
+	}
+	// Under a quarter of capacity, but not yet for long enough: capacity
+	// must be retained so that the streak is what triggers the shrink.
+	for i := 0; i < slabDecayAfter-1; i++ {
+		s.Take(100)
+		if s.Cap() != high {
+			t.Fatalf("cap=%d after %d low Takes, want %d retained", s.Cap(), i+1, high)
+		}
+	}
+	s.Take(100)
+	if got := s.Cap(); got != 200 {
+		t.Fatalf("cap=%d after %d low Takes, want shrunk to 200", got, slabDecayAfter)
+	}
+}
+
+// TestSlabDecayStreakResets verifies that any Take at >= 25% utilization
+// resets the low-water streak: a workload oscillating near its capacity
+// never decays.
+func TestSlabDecayStreakResets(t *testing.T) {
+	var s Slab[int]
+	s.Take(1000)
+	high := s.Cap()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < slabDecayAfter-1; i++ {
+			s.Take(10)
+		}
+		s.Take(high / 2) // >= 25% of capacity: streak resets
+	}
+	if s.Cap() != high {
+		t.Fatalf("cap=%d, want %d retained across interrupted streaks", s.Cap(), high)
+	}
+}
+
+// TestSlabGrowResetsStreak verifies a growth reallocation starts a fresh
+// streak (the new capacity is sized to demand, so it is not "low").
+func TestSlabGrowResetsStreak(t *testing.T) {
+	var s Slab[int]
+	s.Take(1000)
+	for i := 0; i < slabDecayAfter-1; i++ {
+		s.Take(10)
+	}
+	s.Take(10_000) // grow
+	high := s.Cap()
+	s.Take(10) // first low Take of a new streak — must not shrink yet
+	if s.Cap() != high {
+		t.Fatalf("cap=%d immediately after grow, want %d", s.Cap(), high)
+	}
+}

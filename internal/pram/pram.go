@@ -98,6 +98,11 @@ type Stats struct {
 
 // Machine is a lock-step PRAM. Methods must be called from a single driver
 // goroutine.
+//
+// Per-processor state is columnar: counters live in flat engine.Cols arrays
+// indexed by processor id, and buffered accesses live in O(cores)
+// chunk-local arenas addressed by the Off/Cnt columns, so machine memory is
+// O(p) flat words plus O(cores) objects — never O(p) objects.
 type Machine struct {
 	p        int
 	mem      []int64
@@ -105,15 +110,22 @@ type Machine struct {
 	mode     Mode
 	cellBits int
 	core     *engine.Core[Stats]
-	ctxs     []Ctx
+	cols     *engine.Cols
+
+	// shards are the chunk-local access arenas: chunk r of the fan-out (the
+	// contiguous processors [r·width, (r+1)·width)) appends its accesses to
+	// shards[r].buf, recycled across steps. Concatenating the shard arenas in
+	// shard order yields every access in ascending processor order, which is
+	// what the write-resolution rules iterate.
+	width  int
+	shards []shard
 
 	romRead int
 	bits    int
 
-	// scratch buffers recycled across steps: the gathered access list, the
-	// per-cell contention counters (with the touched-cell list that resets
-	// them), and the write-resolution state for the Common/Priority rules.
-	acc              []access
+	// scratch buffers recycled across steps: the per-cell contention counters
+	// (with the touched-cell list that resets them) and the write-resolution
+	// state for the Common/Priority rules.
 	rdCount, wrCount []int
 	touched          []int
 	sawWrite         []bool
@@ -124,8 +136,18 @@ type Machine struct {
 	// closures handed to the engine core, built once so that Step itself is
 	// allocation-free.
 	fn       func(c *Ctx)
-	body     func(i int)
+	body     func(lo, hi int)
 	commitFn func() (Stats, engine.StepStats)
+}
+
+// shard is one chunk's recycled access arena plus the Ctx view its programs
+// run under and its ROM-read tally. Chunks are disjoint contiguous processor
+// ranges, so a shard is only ever touched by the one goroutine running its
+// chunk.
+type shard struct {
+	buf     []access
+	romHits int
+	ctx     Ctx
 }
 
 // New constructs a Machine from either the package-native Config or the
@@ -185,7 +207,7 @@ func newMachine(cfg Config) *Machine {
 		mode:     cfg.Mode,
 		cellBits: bits,
 		core:     engine.NewCore[Stats]("pram", cfg.P, cfg.Workers, false),
-		ctxs:     make([]Ctx, cfg.P),
+		cols:     engine.NewCols(cfg.P, cfg.Seed),
 		rdCount:  make([]int, cfg.Mem),
 		wrCount:  make([]int, cfg.Mem),
 		sawWrite: make([]bool, cfg.Mem),
@@ -193,15 +215,25 @@ func newMachine(cfg Config) *Machine {
 		winner:   make([]int, cfg.Mem),
 	}
 	m.core.Attach(cfg.Observer)
-	root := xrand.New(cfg.Seed)
-	for i := range m.ctxs {
-		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
+	width, chunks := m.core.ChunkPlan(cfg.P)
+	m.width = width
+	m.shards = make([]shard, chunks)
+	for r := range m.shards {
+		m.shards[r].ctx = Ctx{m: m, sh: &m.shards[r]}
 	}
-	m.body = func(i int) {
-		c := &m.ctxs[i]
-		c.hasRd, c.hasWr = false, false
-		c.romHits = 0
-		m.fn(c)
+	m.body = func(lo, hi int) {
+		sh := &m.shards[lo/m.width]
+		sh.buf = sh.buf[:0]
+		sh.romHits = 0
+		c := &sh.ctx
+		cols := m.cols
+		for i := lo; i < hi; i++ {
+			cols.ResetProc(i)
+			cols.Off[i] = int32(len(sh.buf))
+			cols.Cnt[i] = 0
+			c.id = i
+			m.fn(c)
+		}
 	}
 	m.commitFn = m.commit
 	return m
@@ -252,16 +284,13 @@ type access struct {
 	proc  int
 }
 
-// Ctx is the per-processor view of the current step.
+// Ctx is the per-processor view of the current step. It is a thin
+// index-plus-pointer view: the state it reads and writes lives in the
+// machine's columnar arrays and its chunk's access arena.
 type Ctx struct {
-	id  int
-	m   *Machine
-	rng *xrand.Source
-
-	rd, wr  access
-	hasRd   bool
-	hasWr   bool
-	romHits int
+	id int
+	m  *Machine
+	sh *shard
 }
 
 // ID returns this processor's index.
@@ -270,34 +299,50 @@ func (c *Ctx) ID() int { return c.id }
 // P returns the machine's processor count.
 func (c *Ctx) P() int { return c.m.p }
 
-// RNG returns this processor's private deterministic random source.
-func (c *Ctx) RNG() *xrand.Source { return c.rng }
+// RNG returns this processor's private deterministic random source. The
+// source persists across steps (it is derived lazily on first use,
+// byte-for-byte identical to an eager per-processor split of the seed).
+func (c *Ctx) RNG() *xrand.Source { return c.m.cols.RNG(c.id) }
+
+// run returns this processor's accesses buffered so far this step — its run
+// is the tail of the chunk arena, at most two entries.
+func (c *Ctx) run() []access {
+	return c.sh.buf[c.m.cols.Off[c.id]:]
+}
+
+// addAccess appends a to this processor's run in the chunk arena.
+func (c *Ctx) addAccess(a access) {
+	c.sh.buf = append(c.sh.buf, a)
+	c.m.cols.Cnt[c.id]++
+}
 
 // Read returns the value addr held at the start of the step. At most one
 // shared-memory read per processor per step.
 func (c *Ctx) Read(addr int) int64 {
-	if c.hasRd {
-		panic(fmt.Sprintf("pram: proc %d issues two reads in one step", c.id))
+	for _, a := range c.run() {
+		if !a.write {
+			panic(fmt.Sprintf("pram: proc %d issues two reads in one step", c.id))
+		}
 	}
 	if addr < 0 || addr >= len(c.m.mem) {
 		panic(fmt.Sprintf("pram: proc %d reads invalid cell %d (mem=%d)", c.id, addr, len(c.m.mem)))
 	}
-	c.hasRd = true
-	c.rd = access{addr: addr, proc: c.id}
+	c.addAccess(access{addr: addr, proc: c.id})
 	return c.m.mem[addr]
 }
 
 // Write schedules a write of val to addr, applied at the end of the step.
 // At most one shared-memory write per processor per step.
 func (c *Ctx) Write(addr int, val int64) {
-	if c.hasWr {
-		panic(fmt.Sprintf("pram: proc %d issues two writes in one step", c.id))
+	for _, a := range c.run() {
+		if a.write {
+			panic(fmt.Sprintf("pram: proc %d issues two writes in one step", c.id))
+		}
 	}
 	if addr < 0 || addr >= len(c.m.mem) {
 		panic(fmt.Sprintf("pram: proc %d writes invalid cell %d (mem=%d)", c.id, addr, len(c.m.mem)))
 	}
-	c.hasWr = true
-	c.wr = access{addr: addr, val: val, write: true, proc: c.id}
+	c.addAccess(access{addr: addr, val: val, write: true, proc: c.id})
 }
 
 // ReadROM returns ROM[addr]. ROM reads are concurrent and free: the PRAM(m)
@@ -307,7 +352,7 @@ func (c *Ctx) ReadROM(addr int) int64 {
 	if c.m.rom == nil {
 		panic("pram: machine has no ROM")
 	}
-	c.romHits++
+	c.sh.romHits++
 	return c.m.rom[addr]
 }
 
@@ -322,29 +367,29 @@ func (m *Machine) Step(fn func(c *Ctx)) Stats {
 	return st
 }
 
-// commit is the PRAM merge strategy: gather accesses in processor order,
-// compute per-cell contention, enforce the mode's rules, resolve writes, and
-// price the step.
+// commit is the PRAM merge strategy: walk the accesses in processor order
+// (the shard arenas concatenated in shard order), compute per-cell
+// contention, enforce the mode's rules, resolve writes, and price the step.
+// Write resolution depends only on processor order, never on worker
+// scheduling, so the memory image is identical for any worker count.
 func (m *Machine) commit() (Stats, engine.StepStats) {
 	var st Stats
-	// Gather accesses in processor order (determinism).
-	acc := m.acc[:0]
-	for i := range m.ctxs {
-		c := &m.ctxs[i]
-		if c.hasRd {
-			acc = append(acc, c.rd)
-			st.Reads++
+	for r := range m.shards {
+		sh := &m.shards[r]
+		m.romRead += sh.romHits
+		for k := range sh.buf {
+			if sh.buf[k].write {
+				st.Writes++
+			} else {
+				st.Reads++
+			}
 		}
-		if c.hasWr {
-			acc = append(acc, c.wr)
-			st.Writes++
-		}
-		if c.hasRd || c.hasWr {
+	}
+	for i := 0; i < m.p; i++ {
+		if m.cols.Cnt[i] > 0 {
 			st.Active++
 		}
-		m.romRead += c.romHits
 	}
-	m.acc = acc
 
 	// Contention per cell, separately for reads and writes (a cell that is
 	// both read and written in one step is CR+CW territory: permitted on
@@ -352,14 +397,16 @@ func (m *Machine) commit() (Stats, engine.StepStats) {
 	// counters are recycled: only touched cells are non-zero, and they are
 	// reset below once the step is resolved.
 	m.touched = m.touched[:0]
-	for _, a := range acc {
-		if m.rdCount[a.addr] == 0 && m.wrCount[a.addr] == 0 {
-			m.touched = append(m.touched, a.addr)
-		}
-		if a.write {
-			m.wrCount[a.addr]++
-		} else {
-			m.rdCount[a.addr]++
+	for r := range m.shards {
+		for _, a := range m.shards[r].buf {
+			if m.rdCount[a.addr] == 0 && m.wrCount[a.addr] == 0 {
+				m.touched = append(m.touched, a.addr)
+			}
+			if a.write {
+				m.wrCount[a.addr]++
+			} else {
+				m.rdCount[a.addr]++
+			}
 		}
 	}
 	for _, addr := range m.touched {
@@ -381,33 +428,39 @@ func (m *Machine) commit() (Stats, engine.StepStats) {
 	// Resolve writes.
 	switch m.mode {
 	case CRCWCommon:
-		for _, a := range acc {
-			if !a.write {
-				continue
+		for r := range m.shards {
+			for _, a := range m.shards[r].buf {
+				if !a.write {
+					continue
+				}
+				if m.sawWrite[a.addr] && m.lastVal[a.addr] != a.val {
+					panic(fmt.Sprintf("pram: Common-CRCW writers disagree at cell %d (%d vs %d)", a.addr, m.lastVal[a.addr], a.val))
+				}
+				m.sawWrite[a.addr] = true
+				m.lastVal[a.addr] = a.val
+				m.mem[a.addr] = a.val
 			}
-			if m.sawWrite[a.addr] && m.lastVal[a.addr] != a.val {
-				panic(fmt.Sprintf("pram: Common-CRCW writers disagree at cell %d (%d vs %d)", a.addr, m.lastVal[a.addr], a.val))
-			}
-			m.sawWrite[a.addr] = true
-			m.lastVal[a.addr] = a.val
-			m.mem[a.addr] = a.val
 		}
 	case CRCWPriority:
-		for _, a := range acc {
-			if !a.write {
-				continue
-			}
-			if !m.sawWrite[a.addr] || a.proc < m.winner[a.addr] {
-				m.sawWrite[a.addr] = true
-				m.winner[a.addr] = a.proc
-				m.mem[a.addr] = a.val
+		for r := range m.shards {
+			for _, a := range m.shards[r].buf {
+				if !a.write {
+					continue
+				}
+				if !m.sawWrite[a.addr] || a.proc < m.winner[a.addr] {
+					m.sawWrite[a.addr] = true
+					m.winner[a.addr] = a.proc
+					m.mem[a.addr] = a.val
+				}
 			}
 		}
 	default: // EREW, QRQW, CRCWArbitrary: processor-order application;
 		// the highest-numbered writer wins (Arbitrary rule).
-		for _, a := range acc {
-			if a.write {
-				m.mem[a.addr] = a.val
+		for r := range m.shards {
+			for _, a := range m.shards[r].buf {
+				if a.write {
+					m.mem[a.addr] = a.val
+				}
 			}
 		}
 	}

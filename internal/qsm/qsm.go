@@ -71,13 +71,24 @@ type request struct {
 
 // Machine is a simulated QSM machine. Methods must be called from a single
 // driver goroutine.
+//
+// Per-processor state is columnar: counters and cursors live in flat
+// engine.Cols arrays indexed by processor id, and buffered requests live in
+// O(cores) chunk-local arenas addressed by the Off/Cnt columns, so machine
+// memory is O(p) flat words plus O(cores) objects — never O(p) objects.
 type Machine struct {
 	p    int
 	mem  []int64
 	cost model.Cost
 	core *engine.Core[Stats]
+	cols *engine.Cols
 
-	ctxs []Ctx
+	// shards are the chunk-local request arenas: chunk r of the fan-out (the
+	// contiguous processors [r·width, (r+1)·width)) appends its requests to
+	// shards[r].buf, recycled across phases. Each shard also carries the one
+	// Ctx its chunk's programs share.
+	width  int
+	shards []shard
 
 	// scratch contention counters indexed by address, plus the touched
 	// addresses of the current phase, reused across phases
@@ -88,8 +99,22 @@ type Machine struct {
 	// closures handed to the engine core, built once so that Phase itself is
 	// allocation-free.
 	fn      func(c *Ctx)
-	body    func(i int)
+	body    func(lo, hi int)
 	mergeFn func() (Stats, engine.StepStats)
+}
+
+// shard is one chunk's recycled request arena plus the Ctx view its programs
+// run under. Chunks are disjoint contiguous processor ranges, so a shard is
+// only ever touched by the one goroutine running its chunk.
+type shard struct {
+	buf []request
+	ctx Ctx
+}
+
+// reqs returns processor i's buffered run inside its shard's arena.
+func (m *Machine) reqs(i int) []request {
+	off := m.cols.Off[i]
+	return m.shards[i/m.width].buf[off : off+m.cols.Cnt[i]]
 }
 
 // New constructs a Machine from either the package-native Config or the
@@ -126,22 +151,29 @@ func newMachine(cfg Config) *Machine {
 		mem:     make([]int64, cfg.Mem),
 		cost:    cfg.Cost,
 		core:    engine.NewCore[Stats]("qsm", cfg.P, cfg.Workers, cfg.Trace),
-		ctxs:    make([]Ctx, cfg.P),
+		cols:    engine.NewCols(cfg.P, cfg.Seed),
 		rdCount: make([]int, cfg.Mem),
 		wrCount: make([]int, cfg.Mem),
 	}
 	m.core.Attach(cfg.Observer)
-	root := xrand.New(cfg.Seed)
-	for i := range m.ctxs {
-		m.ctxs[i] = Ctx{id: i, m: m, rng: root.Split(uint64(i))}
+	width, chunks := m.core.ChunkPlan(cfg.P)
+	m.width = width
+	m.shards = make([]shard, chunks)
+	for r := range m.shards {
+		m.shards[r].ctx = Ctx{m: m, sh: &m.shards[r]}
 	}
-	m.body = func(i int) {
-		c := &m.ctxs[i]
-		c.work = 0
-		c.reqs = c.reqs[:0]
-		c.nr, c.nw = 0, 0
-		c.autoSlot = 0
-		m.fn(c)
+	m.body = func(lo, hi int) {
+		sh := &m.shards[lo/m.width]
+		sh.buf = sh.buf[:0]
+		c := &sh.ctx
+		cols := m.cols
+		for i := lo; i < hi; i++ {
+			cols.ResetProc(i)
+			cols.Off[i] = int32(len(sh.buf))
+			cols.Cnt[i] = 0
+			c.id = i
+			m.fn(c)
+		}
 	}
 	m.mergeFn = m.merge
 	return m
@@ -182,16 +214,13 @@ func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
 // and tests only).
 func (m *Machine) Store(addr int, val int64) { m.mem[addr] = val }
 
-// Ctx is the per-processor view of the current phase.
+// Ctx is the per-processor view of the current phase. It is a thin
+// index-plus-pointer view: the state it reads and writes lives in the
+// machine's columnar arrays and its chunk's request arena.
 type Ctx struct {
-	id  int
-	m   *Machine
-	rng *xrand.Source
-
-	work     int
-	reqs     []request
-	nr, nw   int
-	autoSlot int
+	id int
+	m  *Machine
+	sh *shard
 }
 
 // ID returns this processor's index.
@@ -200,24 +229,25 @@ func (c *Ctx) ID() int { return c.id }
 // P returns the machine's processor count.
 func (c *Ctx) P() int { return c.m.p }
 
-// RNG returns this processor's private deterministic random source.
-func (c *Ctx) RNG() *xrand.Source { return c.rng }
+// RNG returns this processor's private deterministic random source. The
+// source persists across phases (it is derived lazily on first use,
+// byte-for-byte identical to an eager per-processor split of the seed).
+func (c *Ctx) RNG() *xrand.Source { return c.m.cols.RNG(c.id) }
 
 // Charge records units of local computation performed this phase.
 func (c *Ctx) Charge(units int) {
 	if units > 0 {
-		c.work += units
+		c.m.cols.Work[c.id] += units
 	}
 }
 
 // Read issues a read of addr in this processor's next free request step and
 // returns the value the location held at the start of the phase.
-func (c *Ctx) Read(addr int) int64 { return c.ReadAt(c.autoSlot, addr) }
+func (c *Ctx) Read(addr int) int64 { return c.ReadAt(c.m.cols.AutoSlot[c.id], addr) }
 
 // ReadAt issues a read of addr in request step slot.
 func (c *Ctx) ReadAt(slot, addr int) int64 {
 	c.addReq(slot, addr, 0, false)
-	c.nr++
 	return c.m.mem[addr]
 }
 
@@ -225,17 +255,16 @@ func (c *Ctx) ReadAt(slot, addr int) int64 {
 // step. The write takes effect at the end of the phase; concurrent writers
 // to one location are resolved by the Arbitrary rule (in this engine, the
 // highest-numbered writing processor deterministically wins).
-func (c *Ctx) Write(addr int, val int64) { c.WriteAt(c.autoSlot, addr, val) }
+func (c *Ctx) Write(addr int, val int64) { c.WriteAt(c.m.cols.AutoSlot[c.id], addr, val) }
 
 // WriteAt issues a write in request step slot.
 func (c *Ctx) WriteAt(slot, addr int, val int64) {
 	c.addReq(slot, addr, val, true)
-	c.nw++
 }
 
 // addReq is the per-request hot path; the panics live in separate functions
 // so that it stays within the inlining budget, and the request is written in
-// place rather than appended by value.
+// place in the chunk's arena rather than appended by value.
 func (c *Ctx) addReq(slot, addr int, val int64, write bool) {
 	if slot < 0 {
 		c.badSlot(slot)
@@ -243,19 +272,23 @@ func (c *Ctx) addReq(slot, addr int, val int64, write bool) {
 	if addr < 0 || addr >= len(c.m.mem) {
 		c.badAddr(addr)
 	}
-	n := len(c.reqs)
-	if n == cap(c.reqs) {
-		c.reqs = append(c.reqs, request{})
+	buf := c.sh.buf
+	n := len(buf)
+	if n == cap(buf) {
+		buf = append(buf, request{})
 	} else {
-		c.reqs = c.reqs[:n+1]
+		buf = buf[:n+1]
 	}
-	r := &c.reqs[n]
+	r := &buf[n]
 	r.slot = slot
 	r.addr = addr
 	r.val = val
 	r.write = write
-	if slot+1 > c.autoSlot {
-		c.autoSlot = slot + 1
+	c.sh.buf = buf
+	cols := c.m.cols
+	cols.Cnt[c.id]++
+	if slot+1 > cols.AutoSlot[c.id] {
+		cols.AutoSlot[c.id] = slot + 1
 	}
 }
 
@@ -283,26 +316,38 @@ func (m *Machine) Phase(fn func(c *Ctx)) Stats {
 const insertionSortMax = 32
 
 // merge is the QSM merge strategy: it validates request schedules, computes
-// contention κ, applies buffered writes, and prices the phase.
+// contention κ, applies buffered writes, and prices the phase. Processors
+// are walked in ascending id order via their arena runs, so every
+// order-sensitive outcome (the Arbitrary write rule, panic attribution) is
+// identical for any worker count.
 func (m *Machine) merge() (Stats, engine.StepStats) {
 	var st Stats
 	m.touched = m.touched[:0]
+	cols := m.cols
 
 	maxStep := 0
-	for i := range m.ctxs {
-		c := &m.ctxs[i]
-		if c.work > st.W {
-			st.W = c.work
+	for i := 0; i < m.p; i++ {
+		if w := cols.Work[i]; w > st.W {
+			st.W = w
 		}
-		hi := c.nr
-		if c.nw > hi {
-			hi = c.nw
+		reqs := m.reqs(i)
+		nr, nw := 0, 0
+		for k := range reqs {
+			if reqs[k].write {
+				nw++
+			} else {
+				nr++
+			}
+		}
+		hi := nr
+		if nw > hi {
+			hi = nw
 		}
 		if hi > st.H {
 			st.H = hi
 		}
-		st.Reads += c.nr
-		st.Writes += c.nw
+		st.Reads += nr
+		st.Writes += nw
 		// Validate one request per processor per step: sort by slot, then
 		// reject duplicates. Inlined on the concrete request type (the
 		// generic closure-based engine.CheckSchedule dominated the
@@ -310,7 +355,6 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 		// allocation-free insertion sort. Slots are strictly increasing
 		// after a valid sort, so the processor's step span is the last
 		// request's slot.
-		reqs := c.reqs
 		if n := len(reqs); n > 1 {
 			if n <= insertionSortMax {
 				for a := 1; a < n; a++ {
@@ -366,8 +410,8 @@ func (m *Machine) merge() (Stats, engine.StepStats) {
 	// Histogram over request steps; apply writes in processor order so the
 	// highest-numbered writer wins deterministically (Arbitrary rule).
 	hist := m.core.Hist(maxStep)
-	for i := range m.ctxs {
-		reqs := m.ctxs[i].reqs
+	for i := 0; i < m.p; i++ {
+		reqs := m.reqs(i)
 		for k := range reqs {
 			r := &reqs[k]
 			hist[r.slot]++

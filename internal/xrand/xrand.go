@@ -71,12 +71,22 @@ func Derive(seed uint64, label string) *Source {
 // with distinct ids, or a child and its parent, produce statistically
 // independent sequences. Split does not advance the parent.
 func (s *Source) Split(id uint64) *Source {
+	child := new(Source)
+	s.SplitInto(id, child)
+	return child
+}
+
+// SplitInto writes the child stream Split(id) would return into dst without
+// allocating. It exists for columnar engines that derive per-processor
+// sources lazily into a flat array: SplitInto(i, &col[i]) yields a source
+// byte-for-byte identical to Split(i). Split does not advance the parent.
+func (s *Source) SplitInto(id uint64, dst *Source) {
 	// Mix the parent state with the id through two rounds so that adjacent
 	// ids do not yield correlated child seeds.
 	st := s.state ^ (id+1)*0xd1342543de82ef95
 	_ = splitmix64(&st)
 	_ = splitmix64(&st)
-	return &Source{state: st}
+	dst.state = st
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.

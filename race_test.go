@@ -1,0 +1,7 @@
+//go:build race
+
+package parbw_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose shadow memory makes absolute heap-size assertions meaningless.
+const raceEnabled = true

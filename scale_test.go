@@ -4,6 +4,7 @@
 package parbw_test
 
 import (
+	"runtime"
 	"testing"
 
 	"parbw/internal/bsp"
@@ -13,6 +14,54 @@ import (
 	"parbw/internal/sched"
 	"parbw/internal/xrand"
 )
+
+// TestScaleMillionProcessors runs supersteps on a 2^20-processor BSP machine
+// and asserts a hard heap ceiling. This is the columnar engine's reason to
+// exist: per-processor state is flat columns plus O(cores) chunk arenas, so
+// a million processors cost a handful of large allocations (~100 MB for this
+// workload), not millions of small ones. The ceiling is asserted after a
+// forced GC and skipped under the race detector, whose shadow memory
+// inflates every allocation.
+func TestScaleMillionProcessors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const p = 1 << 20
+	const heapCeiling = 192 << 20 // bytes; ~2x the expected live heap
+	m := bsp.New(bsp.Config{P: p, Cost: model.BSPg(4, 16), Seed: 11, Workers: 4})
+	program := func(c *bsp.Ctx) {
+		if i := c.ID(); i&1 == 0 {
+			c.Send(i+1, 7, int64(i))
+		}
+	}
+	for s := 0; s < 3; s++ {
+		st := m.Superstep(program)
+		if st.N != p/2 {
+			t.Fatalf("superstep %d: N = %d, want %d", s, st.N, p/2)
+		}
+		if st.H != 1 {
+			t.Fatalf("superstep %d: H = %d, want 1", s, st.H)
+		}
+	}
+	// Every even processor sent to its odd neighbor; spot-check delivery
+	// across the machine.
+	for i := 1; i < p; i += 99991 {
+		j := i &^ 1 // even sender for this stride's odd receiver
+		in := m.Inbox(j + 1)
+		if len(in) != 1 || in[0].A != int64(j) {
+			t.Fatalf("proc %d inbox = %+v, want one message from %d", j+1, in, j)
+		}
+	}
+	if !raceEnabled {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > heapCeiling {
+			t.Errorf("HeapAlloc = %d MB after p=2^20 supersteps, ceiling %d MB",
+				ms.HeapAlloc>>20, heapCeiling>>20)
+		}
+	}
+}
 
 func TestScaleBroadcast16k(t *testing.T) {
 	if testing.Short() {
