@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-baseline bench-scale bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
+.PHONY: all build vet test race chaos chaos-cluster bench bench-baseline bench-scale bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
 
 all: build test
 
@@ -26,8 +26,17 @@ race:
 # plan seeds, so failures replay bit-identically. Race detector on, cache
 # off, so injected faults actually re-fire every run.
 chaos:
-	$(GO) test -race -count=1 ./internal/fault ./internal/runstore
-	$(GO) test -race -count=1 -run 'Chaos|Breaker|Backoff|EncodeErrors' ./internal/service
+	$(GO) test -race -count=1 ./internal/fault ./internal/runstore ./internal/retry
+	$(GO) test -race -count=1 -run 'Chaos|Breaker|Backoff|EncodeErrors|RetryAfter' ./internal/service
+
+# Cluster chaos (CI runs this): a 3-node in-process cluster driven through
+# seeded peer-failure plans — node down, slow peer, partitioned store, torn
+# forwards, breaker heal — plus the ring and forwarding-client suites. Every
+# sweep must complete (degraded, never failed) with results byte-identical
+# to a single-node run, and every node's store must scrub clean.
+chaos-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 -run 'Cluster' ./internal/service
 
 # The fixed hot-path suite via the bench-regression harness: superstep
 # merge per model, the static scheduling sweep, and quick Table 1 runs.

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"parbw/internal/cluster"
 	"parbw/internal/runstore"
 	"parbw/internal/service"
 )
@@ -29,6 +31,10 @@ func runServe(args []string) error {
 	retries := fs.Int("retries", 2, "extra attempts per failed task")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 	scrub := fs.Bool("scrub", false, "verify every stored entry at startup (quarantining corrupt ones)")
+	clusterSelf := fs.String("cluster-self", "", "this node's name in the cluster ring (enables cluster mode)")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated name=url list of every ring member (a self entry is ignored)")
+	forwardTimeout := fs.Duration("forward-timeout", 2*time.Second, "per-attempt deadline for forwarding a task to its owning peer")
+	forwardRetries := fs.Int("forward-retries", 2, "extra forward attempts before degrading to local compute")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: bandsim serve [flags]")
 		fs.PrintDefaults()
@@ -53,11 +59,35 @@ func runServe(args []string) error {
 	if r == 0 {
 		r = -1 // Options treats <0 as "no retries"; 0 selects the default
 	}
+	var cl *cluster.Client
+	if *clusterSelf != "" || *clusterPeers != "" {
+		if *clusterSelf == "" {
+			return errors.New("bandsim serve: -cluster-peers requires -cluster-self")
+		}
+		peers, err := parsePeers(*clusterPeers)
+		if err != nil {
+			return err
+		}
+		fr := *forwardRetries
+		if fr == 0 {
+			fr = -1 // same convention as -retries
+		}
+		cl, err = cluster.New(cluster.Options{
+			Self:           *clusterSelf,
+			Peers:          peers,
+			AttemptTimeout: *forwardTimeout,
+			Retries:        fr,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	svc, err := service.New(service.Options{
 		Store:      store,
 		Workers:    *workers,
 		JobTimeout: *timeout,
 		Retries:    r,
+		Cluster:    cl,
 	})
 	if err != nil {
 		return err
@@ -81,6 +111,9 @@ func runServe(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("bandsim serve: listening on http://%s (store %s)\n", *addr, store.Dir())
+	if cl != nil {
+		fmt.Printf("bandsim serve: cluster mode, node %s of ring %v\n", cl.Self(), cl.Members())
+	}
 
 	select {
 	case err := <-errc:
@@ -100,4 +133,26 @@ func runServe(args []string) error {
 		}
 		return nil
 	}
+}
+
+// parsePeers parses the -cluster-peers value: "name=url,name=url,...". Every
+// ring member appears in the list; the entry naming this node is ignored by
+// cluster.New, so all nodes can share one membership string verbatim.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bandsim serve: bad -cluster-peers entry %q (want name=url)", entry)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("bandsim serve: duplicate peer %q in -cluster-peers", name)
+		}
+		peers[name] = strings.TrimRight(url, "/")
+	}
+	return peers, nil
 }

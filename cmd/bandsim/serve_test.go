@@ -1,0 +1,34 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("node-0=http://a:8080, node-1=http://b:8080/ ,node-2=http://c:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"node-0": "http://a:8080",
+		"node-1": "http://b:8080", // trailing slash stripped
+		"node-2": "http://c:8080",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsePeers = %v, want %v", got, want)
+	}
+
+	for _, bad := range []string{"node-0", "=http://a", "node-0=http://a,node-0=http://b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted a malformed list", bad)
+		}
+	}
+}
+
+func TestServeClusterFlagValidation(t *testing.T) {
+	// Peers without a self name is a configuration error, not a panic.
+	if err := runServe([]string{"-cluster-peers", "node-1=http://b:8080", "-store", t.TempDir()}); err == nil {
+		t.Fatal("serve accepted -cluster-peers without -cluster-self")
+	}
+}

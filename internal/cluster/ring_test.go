@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testKeys derives n realistic (64-hex, SHA-256-shaped) store keys
+// deterministically.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func TestRingOwnershipDeterministicAcrossInstances(t *testing.T) {
+	a := NewRing(64, "node-0", "node-1", "node-2")
+	b := NewRing(64, "node-2", "node-0", "node-1") // construction order must not matter
+	for _, key := range testKeys(500) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owners diverge (%s vs %s)", key[:8], a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// The balls-into-bins property the chaos suite leans on: with R virtual
+// points per node the per-node share concentrates around K/n (the
+// consistent-hashing analogue of the (1+o(1))·K/n max-load bounds in
+// "Tight Bounds for Parallel Randomized Load Balancing"). The key set is
+// fixed, so this is a deterministic assertion, with margin for the finite-R
+// spread.
+func TestRingLoadSpreadBound(t *testing.T) {
+	const n, keys = 3, 30000
+	r := NewRing(DefaultReplicas, "node-0", "node-1", "node-2")
+	counts := map[string]int{}
+	for _, key := range testKeys(keys) {
+		counts[r.Owner(key)]++
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d nodes own keys: %v", len(counts), n, counts)
+	}
+	mean := keys / n
+	for node, c := range counts {
+		if c > mean*3/2 || c < mean/2 {
+			t.Fatalf("node %s owns %d keys, outside [%d, %d] around mean %d: %v",
+				node, c, mean/2, mean*3/2, mean, counts)
+		}
+	}
+}
+
+// Removing a node moves only its keys; adding it back restores the exact
+// original placement (ownership is a pure function of membership).
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(64, "node-0", "node-1", "node-2")
+	keys := testKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	r.Remove("node-1")
+	moved := 0
+	for _, k := range keys {
+		owner := r.Owner(k)
+		if owner == "node-1" {
+			t.Fatalf("removed node still owns %s", k[:8])
+		}
+		if before[k] == "node-1" {
+			moved++
+			continue
+		}
+		if owner != before[k] {
+			t.Fatalf("key %s owned by a surviving node moved (%s → %s)", k[:8], before[k], owner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("node-1 owned nothing; movement test is vacuous")
+	}
+
+	r.Add("node-1")
+	for _, k := range keys {
+		if r.Owner(k) != before[k] {
+			t.Fatalf("re-adding node-1 did not restore placement of %s", k[:8])
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(8)
+	if got := empty.Owner("abc"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	solo := NewRing(8, "only")
+	for _, k := range testKeys(50) {
+		if solo.Owner(k) != "only" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+	// Idempotent membership ops.
+	solo.Add("only")
+	solo.Remove("ghost")
+	if got := solo.Members(); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("members = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// This file is the HTTP seam: InjectTransport wraps an http.RoundTripper so
+// a fault plan can inject peer failures into cluster forwarding — node down,
+// slow peer, partitioned responses, torn forwards — with decisions still a
+// pure function of (seed, point, hit).
+
+// Transport injection points, relative to the wrapper's prefix. A request
+// hits RTSend before it leaves and RTRecv after the peer answered, so the
+// two points carve the four peer-failure flavors out of the fault kinds:
+//
+//	RTSend + Error        node down: the request never reaches the peer
+//	RTSend + Slow         slow peer: the request stalls (bounded by its ctx)
+//	RTRecv + Error        partition: the peer did the work, the response is lost
+//	RTRecv + PartialWrite torn forward: the response body arrives truncated
+const (
+	RTSend = "send"
+	RTRecv = "recv"
+)
+
+// InjectTransport wraps base so that plan rules at "<prefix>send" and
+// "<prefix>recv" inject faults into round trips (e.g. "cluster.peer.send"
+// with prefix "cluster.peer."). A nil plan injects nothing.
+func InjectTransport(base http.RoundTripper, plan *Plan, prefix string) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &injectTransport{base: base, plan: plan, prefix: prefix}
+}
+
+type injectTransport struct {
+	base   http.RoundTripper
+	plan   *Plan
+	prefix string
+}
+
+func (t *injectTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if inj := t.plan.At(t.prefix + RTSend); inj != nil {
+		switch inj.Kind {
+		case Panic:
+			panic("fault: injected panic at " + t.prefix + RTSend)
+		case Slow:
+			// A slow peer, bounded by the request's context so per-attempt
+			// deadlines still cut the stall short.
+			timer := time.NewTimer(inj.Delay)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, fmt.Errorf("fault: slow peer: %w", req.Context().Err())
+			}
+		default: // Error, PartialWrite
+			// Node down: fail before anything reaches the peer.
+			return nil, fmt.Errorf("fault: peer down: %w", inj.Err)
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if inj := t.plan.At(t.prefix + RTRecv); inj != nil {
+		switch inj.Kind {
+		case Panic:
+			resp.Body.Close()
+			panic("fault: injected panic at " + t.prefix + RTRecv)
+		case Slow:
+			timer := time.NewTimer(inj.Delay)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				resp.Body.Close()
+				return nil, fmt.Errorf("fault: slow peer: %w", req.Context().Err())
+			}
+		case PartialWrite:
+			// A torn forward: the peer's side effects happened and the
+			// status line arrived, but the body is cut in half. The
+			// Content-Length header is dropped so the truncation reaches
+			// the caller's integrity check instead of erroring in the HTTP
+			// client — exactly the case the response CRC exists for.
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, rerr
+			}
+			resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+			resp.ContentLength = -1
+			resp.Header.Del("Content-Length")
+		default: // Error
+			// Partition: the request was processed — the peer may have
+			// computed and stored — but the response never made it back.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("fault: partitioned peer: %w", inj.Err)
+		}
+	}
+	return resp, nil
+}

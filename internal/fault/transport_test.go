@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const transportSeed = 0xBEEF
+
+func transportServer(t *testing.T, hits *atomic.Int32, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doGet(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Do(req)
+}
+
+// RTSend + Error models a dead node: the request never reaches the peer.
+func TestInjectTransportNodeDown(t *testing.T) {
+	var hits atomic.Int32
+	ts := transportServer(t, &hits, "ok")
+	plan := NewPlan(transportSeed, Rule{Point: "peer.send", Kind: Error, Count: 1})
+	c := &http.Client{Transport: InjectTransport(nil, plan, "peer.")}
+
+	if _, err := doGet(t, c, ts.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("down fault err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("request reached a 'down' peer")
+	}
+	// The rule is exhausted: the next request flows.
+	resp, err := doGet(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("peer hits = %d, want 1", hits.Load())
+	}
+}
+
+// RTSend + Slow stalls the request but respects the context deadline.
+func TestInjectTransportSlowPeerRespectsContext(t *testing.T) {
+	var hits atomic.Int32
+	ts := transportServer(t, &hits, "ok")
+	plan := NewPlan(transportSeed, Rule{Point: "peer.send", Kind: Slow, Delay: time.Minute})
+	c := &http.Client{Transport: InjectTransport(nil, plan, "peer.")}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Do(req)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow fault err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context did not cut the injected stall short")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("stalled request reached the peer")
+	}
+}
+
+// RTRecv + Error models a partition: the peer processed the request but the
+// response is lost.
+func TestInjectTransportPartitionLosesResponseAfterWork(t *testing.T) {
+	var hits atomic.Int32
+	ts := transportServer(t, &hits, "ok")
+	plan := NewPlan(transportSeed, Rule{Point: "peer.recv", Kind: Error, Count: 1})
+	c := &http.Client{Transport: InjectTransport(nil, plan, "peer.")}
+
+	if _, err := doGet(t, c, ts.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partition err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("partition must lose the response *after* the peer did the work")
+	}
+}
+
+// RTRecv + PartialWrite models a torn forward: the body arrives truncated,
+// with the Content-Length header stripped so the caller's own integrity
+// check (not the HTTP client) is what catches it.
+func TestInjectTransportTornForwardTruncatesBody(t *testing.T) {
+	var hits atomic.Int32
+	const payload = "0123456789abcdef"
+	ts := transportServer(t, &hits, payload)
+	plan := NewPlan(transportSeed, Rule{Point: "peer.recv", Kind: PartialWrite, Count: 1})
+	c := &http.Client{Transport: InjectTransport(nil, plan, "peer.")}
+
+	resp, err := doGet(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("torn forward must deliver a (truncated) response, got %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading torn body: %v", err)
+	}
+	if string(body) != payload[:len(payload)/2] {
+		t.Fatalf("torn body = %q, want the first half of %q", body, payload)
+	}
+	if resp.Header.Get("Content-Length") != "" {
+		t.Fatal("torn response kept its Content-Length header")
+	}
+}
+
+// A nil plan injects nothing, and decisions replay: the same seed fires the
+// same hits.
+func TestInjectTransportNilPlanAndReplay(t *testing.T) {
+	var hits atomic.Int32
+	ts := transportServer(t, &hits, "ok")
+	c := &http.Client{Transport: InjectTransport(nil, nil, "peer.")}
+	resp, err := doGet(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	run := func() []Event {
+		plan := NewPlan(transportSeed, Rule{Point: "peer.send", Kind: Error, Prob: 0.5})
+		cc := &http.Client{Transport: InjectTransport(nil, plan, "peer.")}
+		for i := 0; i < 20; i++ {
+			if resp, err := doGet(t, cc, ts.URL); err == nil {
+				resp.Body.Close()
+			}
+		}
+		return plan.Events()
+	}
+	ev1, ev2 := run(), run()
+	if len(ev1) == 0 {
+		t.Fatal("probabilistic plan fired nothing; replay test is vacuous")
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("replay diverged: %d vs %d events", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, ev1[i], ev2[i])
+		}
+	}
+}

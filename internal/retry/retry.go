@@ -1,0 +1,157 @@
+// Package retry holds the retry discipline shared by the sweep executor
+// (internal/service) and the cluster forwarding client (internal/cluster):
+// a consecutive-failure circuit breaker and exponential backoff with
+// deterministic jitter. Both echo the paper's thesis — pace injections
+// instead of hammering a collapsing resource (the f_m^u penalty regime): a
+// dependency that just failed is "overloaded", so callers back off or route
+// around it rather than piling on.
+package retry
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"parbw/internal/xrand"
+)
+
+// Breaker is a consecutive-failure circuit breaker. Closed: calls flow, and
+// threshold consecutive failures open it. Open: calls are refused for
+// cooldown. Half-open: after the cooldown one probe is allowed through at a
+// time — success closes the breaker, failure re-opens it. A threshold <= 0
+// disables the breaker entirely. All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+	opens     uint64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and stays open for cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call should be attempted now. A true return in
+// the half-open state claims the probe slot; the caller must follow up
+// with Success or Failure.
+func (b *Breaker) Allow(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful call, closing the breaker.
+func (b *Breaker) Success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed call; at threshold consecutive failures the
+// breaker (re-)opens for cooldown.
+func (b *Breaker) Failure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.fails >= b.threshold {
+		if !now.Before(b.openUntil) {
+			b.opens++ // closed (or half-open) → open transition
+		}
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// Open reports whether calls are currently being refused.
+func (b *Breaker) Open(now time.Time) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && now.Before(b.openUntil)
+}
+
+// Opens returns how many closed→open (or half-open→open) transitions have
+// happened.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// State renders the breaker's position for observability surfaces:
+// "disabled", "closed", "open", or "half-open".
+func (b *Breaker) State(now time.Time) string {
+	if b.threshold <= 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.fails < b.threshold:
+		return "closed"
+	case now.Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// backoffSeed fixes the jitter stream. Jitter must be deterministic (chaos
+// runs replay bit-identically) yet decorrelated across keys and attempts,
+// so the stream is split by key and attempt rather than seeded per process.
+const backoffSeed = 0x9e3779b97f4a7c15
+
+// BackoffDelay returns the pause before retry `attempt` (attempts are
+// 1-based; the first retry is attempt 2): base·2^(attempt−2) scaled by a
+// deterministic jitter factor in [0.5, 1.5) drawn from (key, attempt), and
+// capped at max. Jitter prevents a failed sweep's tasks from re-hammering
+// a struggling dependency in lockstep — the same collision-collapse the
+// paper's schedulers exist to avoid.
+func BackoffDelay(base, max time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 || attempt < 2 {
+		return 0
+	}
+	d := base
+	for i := 2; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	src := xrand.New(backoffSeed).Split(h.Sum64()).Split(uint64(attempt))
+	d = time.Duration(float64(d) * (0.5 + src.Float64()))
+	if d > max {
+		d = max
+	}
+	return d
+}

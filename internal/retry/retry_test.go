@@ -1,0 +1,142 @@
+package retry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(2, time.Minute)
+	t0 := time.Unix(1000, 0)
+
+	if !b.Allow(t0) {
+		t.Fatal("fresh breaker not closed")
+	}
+	if got := b.State(t0); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+	b.Failure(t0)
+	if !b.Allow(t0) || b.Open(t0) {
+		t.Fatal("one failure below threshold opened the breaker")
+	}
+	b.Failure(t0)
+	if b.Allow(t0) || !b.Open(t0) {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+	if got := b.State(t0); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+
+	// Half-open after the cooldown: exactly one probe is allowed.
+	t1 := t0.Add(2 * time.Minute)
+	if got := b.State(t1); got != "half-open" {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+	if !b.Allow(t1) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow(t1) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Probe failure re-opens (a second distinct open).
+	b.Failure(t1)
+	if b.Allow(t1.Add(time.Second)) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+	// Probe success closes fully.
+	t2 := t1.Add(2 * time.Minute)
+	if !b.Allow(t2) {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.Success()
+	if !b.Allow(t2) || b.Open(t2) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(-1, time.Minute)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		b.Failure(now)
+	}
+	if !b.Allow(now) || b.Open(now) || b.Opens() != 0 {
+		t.Fatal("disabled breaker tripped")
+	}
+	if got := b.State(now); got != "disabled" {
+		t.Fatalf("state = %q, want disabled", got)
+	}
+}
+
+// The half-open probe slot is exclusive even under concurrent Allow callers:
+// exactly one goroutine is admitted, everyone else is refused. Run under
+// -race by the chaos targets.
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	t0 := time.Unix(1000, 0)
+	b.Failure(t0) // open
+	probeAt := t0.Add(time.Second)
+
+	for round := 0; round < 50; round++ {
+		var admitted atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.Allow(probeAt) {
+					admitted.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted, want exactly 1", round, n)
+		}
+		// Fail the probe: the breaker re-opens, then the cooldown expires
+		// again before the next round's probe time.
+		b.Failure(probeAt)
+		probeAt = probeAt.Add(time.Second)
+	}
+}
+
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	key := "deadbeef"
+	for attempt := 2; attempt <= 8; attempt++ {
+		d1 := BackoffDelay(base, max, key, attempt)
+		d2 := BackoffDelay(base, max, key, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic delay %s vs %s", attempt, d1, d2)
+		}
+		raw := base << (attempt - 2)
+		if raw > max {
+			raw = max
+		}
+		if d1 < raw/2 || d1 > max {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d1, raw/2, max)
+		}
+	}
+	// Exponential shape: the un-capped raw window doubles per attempt, so
+	// the jittered delay at attempt 5 must exceed attempt 2's window.
+	if d := BackoffDelay(base, max, key, 5); d <= base+base/2 {
+		t.Fatalf("attempt 5 delay %s not exponentially larger than base", d)
+	}
+	// Distinct keys de-correlate.
+	if BackoffDelay(base, max, "aaaa", 3) == BackoffDelay(base, max, "bbbb", 3) &&
+		BackoffDelay(base, max, "aaaa", 4) == BackoffDelay(base, max, "bbbb", 4) {
+		t.Fatal("jitter identical across keys at two attempts")
+	}
+	// No backoff before the first retry, or when disabled.
+	if BackoffDelay(base, max, key, 1) != 0 || BackoffDelay(-1, max, key, 3) != 0 {
+		t.Fatal("expected zero delay")
+	}
+}

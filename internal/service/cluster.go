@@ -1,0 +1,154 @@
+package service
+
+// Cluster-mode glue: the origin side (forwardTask ships a cache miss to the
+// key's owning peer) and the owner side (handleClusterRun answers a forward
+// with verified result bytes). The invariant both sides maintain is that a
+// forwarded task produces exactly the bytes a local run of the same task
+// would have produced — the experiments are deterministic and the store is
+// content-addressed, so cluster placement is an optimization, never a
+// semantic change. See internal/cluster for the ring and the failure policy.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+
+	"parbw/internal/cluster"
+	"parbw/internal/harness"
+	"parbw/internal/retry"
+	"parbw/internal/runstore"
+)
+
+// forwardTask ships one task to its owning peer. Params travel as the
+// resolved canonical assignment, so the owner's Resolve is the identity and
+// the re-derived key matches unless the nodes disagree on code version.
+func (s *Server) forwardTask(ctx context.Context, t *Task) (*cluster.ForwardResult, error) {
+	owner := s.cluster.Owner(t.Key)
+	return s.cluster.Forward(ctx, owner, cluster.ForwardRequest{
+		Experiment: t.Experiment,
+		Seed:       t.Seed,
+		Params:     paramMap(t.Params),
+		Key:        t.Key,
+	})
+}
+
+// handleClusterRun is the owner side of a forward: POST /v1/cluster/run.
+// The owner re-derives the run-store key from its own schema resolution and
+// code version and refuses a mismatch with 400 — version skew between nodes
+// must surface as an explicit error on the origin (which then degrades to
+// local compute), never as two nodes writing different bytes under one key.
+func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "cluster mode is not enabled on this node")
+		return
+	}
+	var req cluster.ForwardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad forward body: %v", err)
+		return
+	}
+	e, ok := harness.ByID(req.Experiment)
+	if !ok {
+		s.writeJSON(w, http.StatusBadRequest, UnknownExperimentEnvelope(req.Experiment))
+		return
+	}
+	vals, err := e.Resolve(req.Params)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ParamErrorEnvelope(err))
+		return
+	}
+	key := runstore.Key(runstore.KeySpec{
+		Experiment: req.Experiment,
+		Seed:       req.Seed,
+		Params:     vals.Canonical(),
+		Version:    harness.CodeVersion,
+	})
+	if key != req.Key {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"key mismatch: caller sent %s, owner derives %s (code-version skew between nodes?)", req.Key, key)
+		return
+	}
+
+	// The owner's store is authoritative for this key: serve a hit directly.
+	if data, ok, err := s.opts.Store.GetBytes(key); err != nil {
+		s.countStoreError()
+	} else if ok {
+		s.mu.Lock()
+		s.stats.TasksCached++
+		s.mu.Unlock()
+		s.writeForwardResult(w, data, true, false)
+		return
+	}
+
+	// Miss: run it here, with the same retry/backoff/degrade discipline as a
+	// local task. The origin counted the forward; this node counts the run.
+	cfg := harness.Config{Seed: req.Seed, Params: req.Params}
+	ctx := r.Context()
+	var lastErr error
+	for attempt := 1; attempt <= 1+s.opts.Retries; attempt++ {
+		if attempt > 1 {
+			s.mu.Lock()
+			s.stats.TaskRetries++
+			s.mu.Unlock()
+			sleepCtx(ctx, retry.BackoffDelay(s.opts.Backoff, s.opts.BackoffMax, key, attempt))
+		}
+		if ctx.Err() != nil {
+			// The origin gave up (per-attempt deadline, job cancel); it will
+			// degrade to local compute, so just abandon the response.
+			s.writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "forward abandoned: %s", contextReason(ctx))
+			return
+		}
+		res, err := s.safeRun(ctx, req.Experiment, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, degraded, err := s.storeResult(ctx, key, res)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		s.mu.Lock()
+		s.stats.TasksRun++
+		if degraded {
+			s.stats.TasksDegraded++
+		}
+		s.mu.Unlock()
+		s.writeForwardResult(w, data, false, degraded)
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, CodeInternal, "forwarded task failed: %v", lastErr)
+}
+
+// writeForwardResult answers a forward with the canonical result bytes plus
+// the CRC header the origin verifies — the same integrity discipline the run
+// store applies on disk, which is what makes torn forwards detectable.
+func (s *Server) writeForwardResult(w http.ResponseWriter, data []byte, cached, degraded bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cluster.HeaderCRC, fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)))
+	if cached {
+		w.Header().Set(cluster.HeaderCached, "1")
+	}
+	if degraded {
+		w.Header().Set(cluster.HeaderDegraded, "1")
+	}
+	if _, err := w.Write(data); err != nil {
+		s.mu.Lock()
+		s.stats.EncodeErrors++
+		s.mu.Unlock()
+	}
+}
+
+// handleClusterRing exposes ring membership and per-peer forwarding health:
+// GET /v1/cluster/ring.
+func (s *Server) handleClusterRing(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "cluster mode is not enabled on this node")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.Snapshot())
+}

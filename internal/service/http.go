@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"parbw/internal/cluster"
 	"parbw/internal/engine"
 	"parbw/internal/harness"
 	"parbw/internal/runstore"
@@ -32,11 +33,23 @@ import (
 //	                       64-hex run-store key — the stored canonical result JSON
 //	DELETE /v1/runs/{id}   cancel a job, or delete a stored result by key
 //	GET  /v1/healthz       liveness; add ?ready=1 for the readiness check
-//	GET  /v1/readyz        readiness: store writability + dispatcher liveness
+//	GET  /v1/readyz        readiness: store writability + dispatcher liveness;
+//	                       in cluster mode the body also carries advisory
+//	                       per-peer reachability (an unreachable peer does not
+//	                       fail readiness — forwards to it degrade to local)
 //	GET  /v1/statsz        run-store hit/miss/quarantine counters + executor
 //	                       counters (shed/degraded/breaker) + aggregate engine
 //	                       counters (supersteps simulated, traffic units routed,
-//	                       max slot load, overloads)
+//	                       max slot load, overloads) + in cluster mode the ring
+//	                       membership and per-peer forward/breaker counters
+//
+// Cluster mode adds two peer-facing endpoints (v1-only, no unversioned
+// aliases; both answer 404 on a single-node server):
+//
+//	POST /v1/cluster/run   run (or cache-serve) one forwarded task and answer
+//	                       its canonical result bytes with an X-Parbw-Crc32
+//	                       integrity header (see internal/cluster)
+//	GET  /v1/cluster/ring  ring membership + per-peer forwarding health
 //
 // Every non-2xx response carries the uniform error envelope
 //
@@ -71,6 +84,11 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
 		mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.method, rt.path, rt.h))
 	}
+	// Cluster endpoints are new in v1 and peer-facing; they get no
+	// unversioned aliases. ForwardPath is the constant the forwarding client
+	// posts to, so the two sides cannot drift apart.
+	mux.HandleFunc("POST "+cluster.ForwardPath, s.handleClusterRun)
+	mux.HandleFunc("GET /v1/cluster/ring", s.handleClusterRing)
 	return mux
 }
 
@@ -196,7 +214,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 			// Load shedding is not a client error: 503 + Retry-After.
 			s.writeUnavailable(w, full.RetryAfter, "%v", err)
 		case errors.Is(err, ErrDraining):
-			s.writeUnavailable(w, shedRetryAfter, "%v", err)
+			s.writeUnavailable(w, s.retryAfterNow(), "%v", err)
 		default:
 			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		}
@@ -359,27 +377,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz reports whether a job submitted now would be admitted and
 // cacheable: dispatcher alive, not draining, store writable (probed with a
-// real write). Load balancers should route on this, not /healthz.
+// real write). Load balancers should route on this, not /healthz. In cluster
+// mode the body carries per-peer reachability, but only as advisory detail:
+// a node with dead peers is still ready, because forwards to them degrade to
+// local compute rather than failing.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if err := s.Ready(); err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, CodeNotReady, "%v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	body := map[string]any{"status": "ready"}
+	if s.cluster != nil {
+		body["peers"] = s.cluster.PeerHealth(r.Context())
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 type statsView struct {
 	Store    runstore.Stats  `json:"store"`
 	Executor Stats           `json:"executor"`
 	Engine   engine.Counters `json:"engine"`
+	Cluster  *cluster.Stats  `json:"cluster,omitempty"` // nil on a single-node server
 	Time     time.Time       `json:"time"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, statsView{
+	view := statsView{
 		Store:    s.opts.Store.Stats(),
 		Executor: s.Stats(),
 		Engine:   engine.GlobalCounters(),
 		Time:     time.Now().UTC(),
-	})
+	}
+	if s.cluster != nil {
+		snap := s.cluster.Snapshot()
+		view.Cluster = &snap
+	}
+	s.writeJSON(w, http.StatusOK, view)
 }

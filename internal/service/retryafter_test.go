@@ -1,0 +1,87 @@
+package service
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parbw/internal/harness"
+	"parbw/internal/result"
+)
+
+// Pins the Retry-After computation: (backlog+1) jobs ahead of the retrying
+// client, drained at one per avgJob, clamped to [1s, 60s], with a 1s/job
+// assumption before any job has finished.
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		backlog int
+		avgJob  time.Duration
+		want    time.Duration
+	}{
+		{backlog: 0, avgJob: 0, want: time.Second},                      // no history: 1 slot × 1s default
+		{backlog: 3, avgJob: 0, want: 4 * time.Second},                  // no history, deep queue
+		{backlog: 1, avgJob: 2 * time.Second, want: 4 * time.Second},    // (1+1) × 2s
+		{backlog: 0, avgJob: 100 * time.Millisecond, want: time.Second}, // fast jobs clamp up to 1s
+		{backlog: 9, avgJob: 500 * time.Millisecond, want: 5 * time.Second},
+		{backlog: 500, avgJob: 30 * time.Second, want: time.Minute}, // hopeless queue clamps to 60s
+		{backlog: 2, avgJob: -time.Second, want: 3 * time.Second},   // negative EWMA treated as no history
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.backlog, c.avgJob); got != c.want {
+			t.Errorf("retryAfterHint(%d, %v) = %v, want %v", c.backlog, c.avgJob, got, c.want)
+		}
+	}
+}
+
+// The shed path derives Retry-After from the live backlog and the observed
+// drain rate, not a constant: with one job queued and jobs averaging 2s, the
+// hint is 4s.
+func TestQueueFullRetryAfterFromBacklog(t *testing.T) {
+	release := make(chan struct{})
+	var started atomic.Int32
+	block := func(id string, cfg harness.Config) (*result.Result, error) {
+		started.Add(1)
+		<-release
+		return DefaultRunner(id, cfg)
+	}
+	s := newTestServer(t, Options{Runner: block, Workers: 1, QueueDepth: 1})
+	defer close(release)
+
+	s.mu.Lock()
+	s.avgJob = 2 * time.Second // pretend history: jobs drain at one per 2s
+	s.mu.Unlock()
+
+	// Fill the running slot, then the single queue slot.
+	if _, err := s.Submit(RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond) // job 1 must be running, not queued
+	}
+	if _, err := s.Submit(RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	var full *QueueFullError
+	_, err := s.Submit(RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true})
+	if !errors.As(err, &full) {
+		t.Fatalf("overload error = %v, want QueueFullError", err)
+	}
+	if want := 4 * time.Second; full.RetryAfter != want {
+		t.Fatalf("RetryAfter = %v, want %v ((backlog 1 + 1) × 2s avg)", full.RetryAfter, want)
+	}
+
+	// And the EWMA actually moves: a finished job folds its wall time in.
+	s.mu.Lock()
+	before := s.avgJob
+	s.mu.Unlock()
+	job := &Job{state: StatusRunning, started: time.Now().Add(-10 * time.Second), done: make(chan struct{}), cancel: func() {}}
+	s.finishJob(job, StatusDone)
+	s.mu.Lock()
+	after := s.avgJob
+	s.mu.Unlock()
+	if after <= before {
+		t.Fatalf("avgJob EWMA did not move: %v -> %v after a 10s job", before, after)
+	}
+}

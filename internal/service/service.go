@@ -33,9 +33,11 @@ import (
 	"sync"
 	"time"
 
+	"parbw/internal/cluster"
 	"parbw/internal/fault"
 	"parbw/internal/harness"
 	"parbw/internal/result"
+	"parbw/internal/retry"
 	"parbw/internal/runstore"
 	"parbw/internal/workpool"
 )
@@ -92,6 +94,14 @@ type Options struct {
 
 	// Fault is an optional chaos plan; nil injects nothing.
 	Fault *fault.Plan
+
+	// Cluster, when non-nil, turns the server into one node of a sharded
+	// cluster: run-store keys are placed on a consistent-hash ring, and a
+	// task whose key is owned by a peer is forwarded there (cluster.go).
+	// When the peer is down, slow, or partitioned the task degrades to
+	// local compute-without-forwarding instead of failing. Nil is
+	// single-node mode, byte-identical to the pre-cluster behavior.
+	Cluster *cluster.Client
 }
 
 // Task and job states.
@@ -115,7 +125,8 @@ type Task struct {
 	Key        string         `json:"key"`
 	Status     string         `json:"status"`
 	Cached     bool           `json:"cached"`
-	Degraded   bool           `json:"degraded,omitempty"` // done, but not cached (store unavailable)
+	Forwarded  bool           `json:"forwarded,omitempty"` // answered by the key's owning peer
+	Degraded   bool           `json:"degraded,omitempty"`  // done, but off the normal path: not cached, or computed locally because the owning peer was unreachable
 	Attempts   int            `json:"attempts"`
 	WallMS     float64        `json:"wall_ms"`
 	Error      string         `json:"error,omitempty"`
@@ -152,6 +163,7 @@ type TaskView struct {
 	Key        string          `json:"key"`
 	Status     string          `json:"status"`
 	Cached     bool            `json:"cached"`
+	Forwarded  bool            `json:"forwarded,omitempty"`
 	Degraded   bool            `json:"degraded,omitempty"`
 	Attempts   int             `json:"attempts"`
 	WallMS     float64         `json:"wall_ms"`
@@ -197,6 +209,7 @@ func (j *Job) View() JobView {
 			Key:        t.Key,
 			Status:     t.Status,
 			Cached:     t.Cached,
+			Forwarded:  t.Forwarded,
 			Degraded:   t.Degraded,
 			Attempts:   t.Attempts,
 			WallMS:     t.WallMS,
@@ -243,15 +256,20 @@ type Stats struct {
 	TasksRun      uint64 `json:"tasks_run"`
 	TasksCached   uint64 `json:"tasks_cached"`
 	TasksDegraded uint64 `json:"tasks_degraded"` // completed without a cache write
-	TaskRetries   uint64 `json:"task_retries"`
-	TaskPanics    uint64 `json:"task_panics"`
-	StoreErrors   uint64 `json:"store_errors"` // store read/write failures observed
-	BreakerOpens  uint64 `json:"breaker_opens"`
-	BreakerOpen   bool   `json:"breaker_open"`
-	EncodeErrors  uint64 `json:"http_encode_errors"`
-	Draining      bool   `json:"draining"`
-	QueueLen      int    `json:"queue_len"`
-	Workers       int    `json:"workers"`
+	// Cluster-mode counters. The origin node counts a forward, the owner
+	// counts the run (or cache hit) it answered with — never both, so summing
+	// tasks_run+tasks_cached+tasks_forwarded across nodes counts each task once.
+	TasksForwarded  uint64 `json:"tasks_forwarded"`  // tasks answered by their owning peer
+	ForwardDegraded uint64 `json:"forward_degraded"` // forwards abandoned; task computed locally
+	TaskRetries     uint64 `json:"task_retries"`
+	TaskPanics      uint64 `json:"task_panics"`
+	StoreErrors     uint64 `json:"store_errors"` // store read/write failures observed
+	BreakerOpens    uint64 `json:"breaker_opens"`
+	BreakerOpen     bool   `json:"breaker_open"`
+	EncodeErrors    uint64 `json:"http_encode_errors"`
+	Draining        bool   `json:"draining"`
+	QueueLen        int    `json:"queue_len"`
+	Workers         int    `json:"workers"`
 }
 
 // Server owns the job queue, the executor, and the run store.
@@ -260,7 +278,8 @@ type Server struct {
 	pool    *workpool.Pool
 	runner  Runner
 	fault   *fault.Plan
-	breaker breaker
+	breaker *retry.Breaker
+	cluster *cluster.Client
 
 	baseCtx        context.Context
 	cancel         context.CancelFunc
@@ -277,6 +296,7 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // job ids, oldest first, for pruning
 	stats    Stats
+	avgJob   time.Duration // EWMA of job wall time; feeds retryAfterHint
 }
 
 // maxRetainedJobs bounds the in-memory job index; the oldest finished jobs
@@ -323,7 +343,8 @@ func New(opts Options) (*Server, error) {
 		pool:           workpool.New(opts.Workers),
 		runner:         opts.Runner,
 		fault:          opts.Fault,
-		breaker:        breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+		breaker:        retry.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		cluster:        opts.Cluster,
 		baseCtx:        ctx,
 		cancel:         cancel,
 		queue:          make(chan *Job, opts.QueueDepth),
@@ -475,8 +496,33 @@ func (e *QueueFullError) Error() string {
 // ErrDraining is returned by Submit once Shutdown has begun.
 var ErrDraining = errors.New("service: server draining")
 
-// shedRetryAfter is the Retry-After hint attached to shed requests.
-const shedRetryAfter = time.Second
+// retryAfterHint derives the Retry-After attached to shed requests from the
+// state that caused the shedding: with `backlog` jobs queued and jobs
+// draining at one per avgJob, the queue frees a slot in about
+// (backlog+1)·avgJob — so that is when retrying stops being futile. A server
+// that has finished nothing yet assumes 1s per job. Clamped to [1s, 60s]:
+// at least a polite pause, at most a minute so clients re-probe even when
+// the queue looks hopeless.
+func retryAfterHint(backlog int, avgJob time.Duration) time.Duration {
+	if avgJob <= 0 {
+		avgJob = time.Second
+	}
+	hint := time.Duration(backlog+1) * avgJob
+	if hint < time.Second {
+		return time.Second
+	}
+	if hint > time.Minute {
+		return time.Minute
+	}
+	return hint
+}
+
+// retryAfterNow is retryAfterHint evaluated against the live queue.
+func (s *Server) retryAfterNow() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return retryAfterHint(len(s.queue), s.avgJob)
+}
 
 // Submit validates req, builds the job, and enqueues it. It returns
 // immediately; use Job.Wait or Job.Done for completion. When the queue is
@@ -558,11 +604,13 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 	case s.queue <- job:
 	default:
 		// Admission control: shed instead of admitting work we cannot
-		// start. The job is never registered, so nothing leaks.
+		// start. The job is never registered, so nothing leaks. The hint is
+		// computed at the shed moment from the backlog and drain rate.
 		s.stats.JobsShed++
+		retryAfter := retryAfterHint(len(s.queue), s.avgJob)
 		s.mu.Unlock()
 		jobCancel()
-		return nil, &QueueFullError{Depth: s.opts.QueueDepth, RetryAfter: shedRetryAfter}
+		return nil, &QueueFullError{Depth: s.opts.QueueDepth, RetryAfter: retryAfter}
 	}
 	s.seq++
 	job.id = fmt.Sprintf("job-%06d", s.seq)
@@ -724,8 +772,8 @@ func (s *Server) Stats() Stats {
 	st.QueueLen = len(s.queue)
 	st.Workers = s.pool.Workers()
 	st.Draining = s.draining
-	st.BreakerOpen = s.breaker.isOpen(time.Now())
-	st.BreakerOpens = s.breaker.openCount()
+	st.BreakerOpen = s.breaker.Open(time.Now())
+	st.BreakerOpens = s.breaker.Opens()
 	return st
 }
 
@@ -840,9 +888,13 @@ func contextReason(ctx context.Context) string {
 func (s *Server) finishJob(job *Job, state string) {
 	job.mu.Lock()
 	alreadyDone := terminal(job.state)
+	var wall time.Duration
 	if !alreadyDone {
 		job.state = state
 		job.finished = time.Now()
+		if !job.started.IsZero() {
+			wall = job.finished.Sub(job.started)
+		}
 	}
 	job.mu.Unlock()
 	if alreadyDone {
@@ -858,6 +910,16 @@ func (s *Server) finishJob(job *Job, state string) {
 		s.stats.JobsFailed++
 	case StatusCancelled:
 		s.stats.JobsCancelled++
+	}
+	// Fold the job's wall time into the drain-rate estimate (EWMA, α=1/8)
+	// that retryAfterHint uses. Jobs cancelled before starting carry no
+	// signal about drain rate and are skipped.
+	if wall > 0 {
+		if s.avgJob == 0 {
+			s.avgJob = wall
+		} else {
+			s.avgJob += (wall - s.avgJob) / 8
+		}
 	}
 	s.mu.Unlock()
 }
@@ -911,6 +973,41 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 		return
 	}
 
+	// Cluster mode: a cache miss on a key owned by a peer is forwarded
+	// there. Forward failure (peer down, slow, partitioned, torn response,
+	// breaker open) is never task failure — the task degrades to local
+	// compute, marked Degraded so callers can see it took the fallback path.
+	degradeLocal := false
+	if s.cluster != nil {
+		if owner := s.cluster.Owner(t.Key); owner != "" && owner != s.cluster.Self() {
+			res, err := s.forwardTask(ctx, t)
+			if err == nil {
+				setTask(func() {
+					t.Forwarded = true
+					t.Cached = res.RemoteCached
+					t.Degraded = res.RemoteDegraded
+					t.Result = res.Data
+					t.Status = StatusDone
+				})
+				s.mu.Lock()
+				s.stats.TasksForwarded++
+				s.mu.Unlock()
+				return
+			}
+			if ctx.Err() != nil {
+				setTask(func() {
+					t.Status = StatusCancelled
+					t.Error = contextReason(ctx)
+				})
+				return
+			}
+			degradeLocal = true
+			s.mu.Lock()
+			s.stats.ForwardDegraded++
+			s.mu.Unlock()
+		}
+	}
+
 	cfg := harness.Config{Seed: t.Seed, Params: paramMap(t.Params)}
 	var lastErr error
 	for attempt := 1; attempt <= 1+s.opts.Retries; attempt++ {
@@ -918,7 +1015,7 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 			s.mu.Lock()
 			s.stats.TaskRetries++
 			s.mu.Unlock()
-			sleepCtx(ctx, backoffDelay(s.opts.Backoff, s.opts.BackoffMax, t.Key, attempt))
+			sleepCtx(ctx, retry.BackoffDelay(s.opts.Backoff, s.opts.BackoffMax, t.Key, attempt))
 		}
 		if ctx.Err() != nil {
 			setTask(func() {
@@ -944,7 +1041,7 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 		}
 		setTask(func() {
 			t.Result = data
-			t.Degraded = degraded
+			t.Degraded = degraded || degradeLocal
 			t.WallMS = float64(wall.Microseconds()) / 1000
 			t.Status = StatusDone
 		})
@@ -970,16 +1067,16 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 // degraded=true and the job carries on. The returned error is non-nil only
 // when the result cannot be encoded at all.
 func (s *Server) storeResult(ctx context.Context, key string, res *result.Result) (data []byte, degraded bool, err error) {
-	if s.breaker.allow(time.Now()) {
+	if s.breaker.Allow(time.Now()) {
 		werr := s.fault.Fire(ctx, PointStorePut)
 		if werr == nil {
 			data, werr = s.opts.Store.Put(key, res)
 		}
 		if werr == nil {
-			s.breaker.success()
+			s.breaker.Success()
 			return data, false, nil
 		}
-		s.breaker.failure(time.Now())
+		s.breaker.Failure(time.Now())
 		s.countStoreError()
 	}
 	data, err = res.CanonicalJSON()
