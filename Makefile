@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-cluster bench bench-baseline bench-scale bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
+.PHONY: all build vet test race chaos chaos-cluster stream-chaos bench bench-baseline bench-scale bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
 
 all: build test
 
@@ -37,6 +37,17 @@ chaos:
 chaos-cluster:
 	$(GO) test -race -count=1 ./internal/cluster
 	$(GO) test -race -count=1 -run 'Cluster' ./internal/service
+
+# Stream chaos (CI runs this): the per-job event bus, the SSE surface of
+# GET /v1/runs/{id}/events, and the cluster event back-channel — resume
+# replays the exact missed suffix, a chaos-slowed subscriber loses events
+# to explicit gap markers without ever slowing the executor, a 10k-cell
+# sweep streams every terminal event exactly once, and fixed-seed cluster
+# chaos streams byte-identically. Race detector on, cache off.
+stream-chaos:
+	$(GO) test -race -count=1 -run 'TestBus|TestSSE|TestClusterPartitionedExecution|TestClusterChaosStreamByteStable|TestClusterEventBackChannel' ./internal/service
+	$(GO) test -race -count=1 -run 'TestReadSSE|TestFormatEvent|TestWatch' ./cmd/bandsim
+	$(GO) test -race -count=1 -run 'Writer' ./internal/fault
 
 # The fixed hot-path suite via the bench-regression harness: superstep
 # merge per model, the static scheduling sweep, and quick Table 1 runs.

@@ -11,6 +11,7 @@
 //	bandsim run all              run everything (this regenerates Table 1
 //	                             and every per-theorem table)
 //	bandsim serve                HTTP run service (see serve.go)
+//	bandsim watch <job-id>       follow a job's live event stream (see watch.go)
 //	bandsim fuzz                 seeded workload fuzzing with invariant
 //	                             oracles and ddmin shrinking (see fuzz.go)
 //
@@ -98,6 +99,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bandsim:", err)
 			os.Exit(1)
 		}
+	case "watch":
+		if err := runWatch(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bandsim:", err)
+			os.Exit(1)
+		}
 	case "bench":
 		if err := runBench(args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "bandsim:", err)
@@ -170,7 +176,7 @@ func main() {
 func parseArgs() []string {
 	flag.Parse()
 	rest := flag.Args()
-	if len(rest) > 0 && (rest[0] == "serve" || rest[0] == "bench" || rest[0] == "fuzz") {
+	if len(rest) > 0 && (rest[0] == "serve" || rest[0] == "bench" || rest[0] == "fuzz" || rest[0] == "watch") {
 		return rest
 	}
 	var out []string
@@ -256,6 +262,8 @@ usage:
                                   machine the experiment drives)
   bandsim serve [serve flags]     HTTP run service: job queue + sweep executor over
                                   a content-addressed run store ('serve -h' for flags)
+  bandsim watch [flags] <job-id>  follow a job's live event stream (SSE) from a
+                                  running serve instance ('watch -h' for flags)
   bandsim bench [bench flags]     fixed hot-path benchmark suite; emits a canonical
                                   BENCH_<timestamp>.json report ('bench -h' for flags)
   bandsim fuzz [fuzz flags]       seeded workload fuzzing: generate workloads, check

@@ -31,6 +31,9 @@ func runServe(args []string) error {
 	retries := fs.Int("retries", 2, "extra attempts per failed task")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 	scrub := fs.Bool("scrub", false, "verify every stored entry at startup (quarantining corrupt ones)")
+	compat := fs.Bool("compat-unversioned", true, "serve the deprecated unversioned path aliases (/runs, /healthz, ...)")
+	heartbeat := fs.Duration("sse-heartbeat", 0, "SSE heartbeat interval on /v1/runs/{id}/events (0 = default 15s, negative = off)")
+	stepSample := fs.Int("step-sample", 0, "publish every Nth engine superstep as a stream event (0 = default 64, negative = off)")
 	clusterSelf := fs.String("cluster-self", "", "this node's name in the cluster ring (enables cluster mode)")
 	clusterPeers := fs.String("cluster-peers", "", "comma-separated name=url list of every ring member (a self entry is ignored)")
 	forwardTimeout := fs.Duration("forward-timeout", 2*time.Second, "per-attempt deadline for forwarding a task to its owning peer")
@@ -83,11 +86,14 @@ func runServe(args []string) error {
 		}
 	}
 	svc, err := service.New(service.Options{
-		Store:      store,
-		Workers:    *workers,
-		JobTimeout: *timeout,
-		Retries:    r,
-		Cluster:    cl,
+		Store:                store,
+		Workers:              *workers,
+		JobTimeout:           *timeout,
+		Retries:              r,
+		Cluster:              cl,
+		Heartbeat:            *heartbeat,
+		StepSample:           *stepSample,
+		NoUnversionedAliases: !*compat,
 	})
 	if err != nil {
 		return err

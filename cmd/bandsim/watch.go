@@ -1,0 +1,191 @@
+package main
+
+// bandsim watch <job-id> — follow a job's live event stream over the SSE
+// endpoint GET /v1/runs/{id}/events. The default output is one human-readable
+// line per event; -json prints the raw event objects (one per line) for
+// piping into jq. Reconnection is the client's job: -last-event-id resumes a
+// broken stream from the bus's replay ring, exactly like a browser's
+// EventSource would.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"parbw/internal/service"
+)
+
+// sseEvent is one parsed server-sent event frame.
+type sseEvent struct {
+	ID    string
+	Event string
+	Data  string
+}
+
+// readSSE parses a text/event-stream, invoking fn once per complete frame.
+// Comment lines (": hb" heartbeats) are skipped; multi-line data fields are
+// joined with newlines per the SSE spec. It returns when the stream ends,
+// the reader fails, or fn returns an error.
+func readSSE(r io.Reader, fn func(sseEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ev sseEvent
+	dispatch := func() error {
+		if ev.Event == "" && ev.Data == "" && ev.ID == "" {
+			return nil // blank line after a comment: nothing accumulated
+		}
+		err := fn(ev)
+		ev = sseEvent{}
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment — the server's heartbeat; carries no event
+		case strings.HasPrefix(line, "id:"):
+			ev.ID = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			ev.Event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			if ev.Data != "" {
+				ev.Data += "\n"
+			}
+			ev.Data += strings.TrimSpace(line[len("data:"):])
+		}
+	}
+	if err := dispatch(); err != nil {
+		return err
+	}
+	return sc.Err()
+}
+
+// formatEvent renders one event as the human-readable watch line.
+func formatEvent(ev service.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-5d %-9s", ev.ID, ev.Type)
+	if ev.Task >= 0 {
+		fmt.Fprintf(&b, " task %-4d", ev.Task)
+	}
+	if ev.Experiment != "" {
+		fmt.Fprintf(&b, " %s seed=%d", ev.Experiment, ev.Seed)
+	}
+	switch ev.Type {
+	case service.EventStep:
+		fmt.Fprintf(&b, " machine=%s superstep=%d cost=%.4g", ev.Machine, ev.Superstep, ev.Cost)
+	case service.EventGap:
+		fmt.Fprintf(&b, " events %d..%d dropped (slow consumer or resume past replay ring)", ev.From, ev.To)
+	case service.EventJob:
+		fmt.Fprintf(&b, " state=%s", ev.State)
+		if len(ev.Counts) > 0 {
+			keys := make([]string, 0, len(ev.Counts))
+			for k := range ev.Counts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%d", k, ev.Counts[k])
+			}
+			fmt.Fprintf(&b, " tasks[%s]", strings.Join(parts, " "))
+		}
+	}
+	if ev.Node != "" {
+		fmt.Fprintf(&b, " node=%s", ev.Node)
+	}
+	if ev.Cached {
+		b.WriteString(" cached")
+	}
+	if ev.Forwarded {
+		b.WriteString(" forwarded")
+	}
+	if ev.Degraded {
+		b.WriteString(" degraded")
+	}
+	if ev.Error != "" {
+		fmt.Fprintf(&b, " error=%q", ev.Error)
+	}
+	return b.String()
+}
+
+// runWatch implements the watch subcommand.
+func runWatch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "service base URL")
+	jsonOut := fs.Bool("json", false, "print raw event JSON, one object per line")
+	resume := fs.String("last-event-id", "", "resume after this event id (sent as Last-Event-ID)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bandsim watch [flags] <job-id>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) > 0 {
+		// Allow "bandsim watch job-000001 -json": the id may precede flags.
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+	}
+	if len(rest) == 0 || len(fs.Args()) > 0 {
+		fs.Usage()
+		return fmt.Errorf("watch needs exactly one job id")
+	}
+	id := rest[0]
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	url := strings.TrimRight(*addr, "/") + "/v1/runs/" + id + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if *resume != "" {
+		req.Header.Set("Last-Event-ID", *resume)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var env service.ErrorEnvelope
+		if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+			return fmt.Errorf("watch %s: %s (%s)", id, env.Error.Message, env.Error.Code)
+		}
+		return fmt.Errorf("watch %s: status %d: %s", id, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+
+	err = readSSE(resp.Body, func(frame sseEvent) error {
+		if *jsonOut {
+			_, err := fmt.Fprintln(out, frame.Data)
+			return err
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(frame.Data), &ev); err != nil {
+			_, err := fmt.Fprintf(out, "#%-5s %-9s %s\n", frame.ID, frame.Event, frame.Data)
+			return err
+		}
+		_, err := fmt.Fprintln(out, formatEvent(ev))
+		return err
+	})
+	if err != nil && ctx.Err() != nil {
+		return nil // interrupted by the user: a clean exit, not a failure
+	}
+	return err
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parbw/internal/runstore"
+	"parbw/internal/service"
+)
+
+func TestReadSSEParsesFramesAndSkipsComments(t *testing.T) {
+	stream := "" +
+		": hb\n\n" +
+		"id: 1\nevent: admitted\ndata: {\"id\":1}\n\n" +
+		": hb\n\n" +
+		"id: 2\nevent: step\ndata: line1\ndata: line2\n\n" +
+		"id: 3\nevent: completed\ndata: {\"id\":3}\n\n"
+	var got []sseEvent
+	err := readSSE(strings.NewReader(stream), func(ev sseEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sseEvent{
+		{ID: "1", Event: "admitted", Data: `{"id":1}`},
+		{ID: "2", Event: "step", Data: "line1\nline2"},
+		{ID: "3", Event: "completed", Data: `{"id":3}`},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d frames, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadSSEStopsOnCallbackError(t *testing.T) {
+	stream := "id: 1\nevent: a\ndata: x\n\nid: 2\nevent: b\ndata: y\n\n"
+	sentinel := errors.New("stop")
+	n := 0
+	err := readSSE(strings.NewReader(stream), func(sseEvent) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("err=%v after %d frames, want sentinel after 1", err, n)
+	}
+}
+
+func TestFormatEventShapes(t *testing.T) {
+	cases := []struct {
+		ev   service.Event
+		want []string
+	}{
+		{service.Event{ID: 7, Type: service.EventCompleted, Task: 3, Experiment: "table1/broadcast", Seed: 1, Cached: true},
+			[]string{"#7", "completed", "task 3", "table1/broadcast seed=1", "cached"}},
+		{service.Event{ID: 9, Type: service.EventGap, Task: -1, From: 4, To: 8},
+			[]string{"gap", "events 4..8 dropped"}},
+		{service.Event{ID: 2, Type: service.EventJob, Task: -1, State: service.StatusDone, Counts: map[string]int{"done": 2}},
+			[]string{"state=done", "tasks[done=2]"}},
+		{service.Event{ID: 5, Type: service.EventStep, Task: 0, Machine: "bsp", Superstep: 12, Cost: 3.5, Node: "b"},
+			[]string{"machine=bsp", "superstep=12", "node=b"}},
+	}
+	for _, tc := range cases {
+		line := formatEvent(tc.ev)
+		for _, frag := range tc.want {
+			if !strings.Contains(line, frag) {
+				t.Fatalf("formatEvent(%+v) = %q, missing %q", tc.ev, line, frag)
+			}
+		}
+	}
+}
+
+// End-to-end: watch a finished job against a real server — the subscribe-on-
+// closed-bus replay path — and check the human lines cover the lifecycle.
+func TestWatchReplaysFinishedJob(t *testing.T) {
+	st, err := runstore.Open(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	job, err := svc.Submit(service.RunRequest{Experiments: []string{"table1/broadcast"}, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if state := job.Wait(ctx); state != service.StatusDone {
+		t.Fatalf("job state %q, want done", state)
+	}
+
+	var out bytes.Buffer
+	if err := runWatch([]string{"-addr", ts.URL, job.View().ID}, &out); err != nil {
+		t.Fatalf("runWatch: %v (output %s)", err, out.String())
+	}
+	text := out.String()
+	for _, frag := range []string{"admitted", "started", "completed", "state=done"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("watch output missing %q:\n%s", frag, text)
+		}
+	}
+
+	// -json mode emits one JSON object per line, raw.
+	out.Reset()
+	if err := runWatch([]string{"-addr", ts.URL, "-json", job.View().ID}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("-json line is not a JSON object: %q", line)
+		}
+	}
+
+	// An unknown job reports the server's error envelope.
+	if err := runWatch([]string{"-addr", ts.URL, "job-404404"}, &out); err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Fatalf("unknown job error = %v, want envelope with not_found", err)
+	}
+}

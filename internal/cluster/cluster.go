@@ -21,6 +21,12 @@ import (
 // with the canonical result bytes.
 const ForwardPath = "/v1/cluster/run"
 
+// EventPath is the origin-facing endpoint an owner posts progress events of
+// a forwarded task back to. The channel is strictly best-effort: batches are
+// dropped on overflow or peer failure, never retried, never load-bearing —
+// terminal task state always travels in the forward response itself.
+const EventPath = "/v1/cluster/events"
+
 // Response headers of the forward endpoint. The CRC header makes torn
 // forwards detectable: the client refuses any body whose checksum does not
 // match, the same integrity discipline the run store applies on disk.
@@ -39,6 +45,24 @@ type ForwardRequest struct {
 	Seed       uint64            `json:"seed"`
 	Params     map[string]string `json:"params"`
 	Key        string            `json:"key"`
+
+	// Event back-channel (optional). When WantEvents is set the owner posts
+	// progress events for this task to the origin node's EventPath, tagged
+	// with the origin's job id and task index. Origin is the caller's ring
+	// name — the owner resolves it against its own peer list, so a request
+	// cannot redirect events to an arbitrary URL.
+	Origin     string `json:"origin,omitempty"`
+	Job        string `json:"job,omitempty"`
+	TaskIndex  int    `json:"task,omitempty"`
+	WantEvents bool   `json:"want_events,omitempty"`
+}
+
+// EventBatch is one best-effort batch of owner-side progress events for a
+// job on the origin node. Events travel as raw JSON: the cluster layer stays
+// agnostic of the service's event schema.
+type EventBatch struct {
+	Job    string            `json:"job"`
+	Events []json.RawMessage `json:"events"`
 }
 
 // ForwardResult is a successful forward: the canonical result bytes, plus
@@ -60,6 +84,9 @@ type PeerStats struct {
 	RemoteHits   uint64 `json:"remote_hits"`       // forwards served from the peer's cache
 	Degraded     uint64 `json:"degraded_to_local"` // forwards abandoned; caller computed locally
 	BreakerOpens uint64 `json:"breaker_opens"`
+	// Event back-channel counters (this node as the posting owner).
+	EventsPosted  uint64 `json:"events_posted"`  // progress events delivered to the origin
+	EventsDropped uint64 `json:"events_dropped"` // progress events abandoned (overflow or post failure)
 }
 
 // Stats is the cluster-health snapshot: ring membership plus per-peer
@@ -304,6 +331,52 @@ func (c *Client) attempt(ctx context.Context, owner, base string, req ForwardReq
 		RemoteCached:   resp.Header.Get(HeaderCached) == "1",
 		RemoteDegraded: resp.Header.Get(HeaderDegraded) == "1",
 	}, nil
+}
+
+// PostEvents ships one progress-event batch to peer's EventPath. Strictly
+// best-effort: a single attempt under the per-attempt deadline, and any
+// failure counts the whole batch as dropped — the caller is expected to log
+// nothing and move on, because terminal task state never travels this way.
+func (c *Client) PostEvents(ctx context.Context, peer string, batch EventBatch) error {
+	base, ok := c.urls[peer]
+	if !ok {
+		return fmt.Errorf("cluster: no url for peer %q", peer)
+	}
+	dropped := func() {
+		c.count(peer, func(st *PeerStats) { st.EventsDropped += uint64(len(batch.Events)) })
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		dropped()
+		return fmt.Errorf("cluster: encode events: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, base+EventPath, bytes.NewReader(body))
+	if err != nil {
+		dropped()
+		return fmt.Errorf("cluster: build event post: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.clients[peer].Do(req)
+	if err != nil {
+		dropped()
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		dropped()
+		return fmt.Errorf("cluster: peer %s answered %d to event post", peer, resp.StatusCode)
+	}
+	c.count(peer, func(st *PeerStats) { st.EventsPosted += uint64(len(batch.Events)) })
+	return nil
+}
+
+// NoteEventsDropped counts progress events abandoned before ever reaching
+// PostEvents (owner-side sender queue overflow).
+func (c *Client) NoteEventsDropped(peer string, n int) {
+	c.count(peer, func(st *PeerStats) { st.EventsDropped += uint64(n) })
 }
 
 // Snapshot returns the current cluster-health view.

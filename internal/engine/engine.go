@@ -168,6 +168,7 @@ func (c *Core[S]) Step(body func(lo, hi int), merge func() (S, StepStats)) S {
 		obs.OnStep(view)
 	}
 	notifyGlobal(view)
+	notifyTagged(view)
 	return st
 }
 

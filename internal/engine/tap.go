@@ -1,0 +1,147 @@
+package engine
+
+// Goroutine-scoped step tagging: the mechanism that lets the serve path
+// attribute committed supersteps to the (job, task) that drove them without
+// serializing observed runs the way the process-global tap must.
+//
+// The global tap (AddGlobalObserver) sees every machine in the process and
+// cannot tell whose steps are whose, so harness.Run makes observed runs
+// exclusive. A tagged observer instead receives each step together with the
+// tag attached to the goroutine that committed it — observer callbacks run
+// on the machine's driver goroutine, which for the run service is exactly
+// the executor goroutine running one task. Tag that goroutine with the task
+// identity and concurrent sweeps stream their own steps with no cross-talk
+// and no exclusivity.
+//
+// Cost discipline: commits only pay for tagging when at least one goroutine
+// is tagged AND at least one tagged observer is registered (two atomic
+// loads otherwise). The tag lookup itself parses the goroutine id from the
+// runtime stack header (~1µs) — negligible against a superstep, but not
+// against nothing, hence the gate.
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// TaggedObserver receives committed steps annotated with the tag of the
+// goroutine that drove them. Like Observer, callbacks run on the driver
+// goroutine and must be cheap; StepStats.Hist is only valid inside the call.
+type TaggedObserver interface {
+	OnTaggedStep(tag any, st StepStats)
+}
+
+// TaggedObserverFunc adapts a function to the TaggedObserver interface.
+type TaggedObserverFunc func(tag any, st StepStats)
+
+// OnTaggedStep calls f.
+func (f TaggedObserverFunc) OnTaggedStep(tag any, st StepStats) { f(tag, st) }
+
+type taggedReg struct{ obs TaggedObserver }
+
+var tagged struct {
+	count     atomic.Int64 // live goroutine tags; gates the per-commit lookup
+	tags      sync.Map     // goroutine id (uint64) → tag (any)
+	mu        sync.Mutex   // guards writes to observers
+	observers atomic.Pointer[[]*taggedReg]
+}
+
+// goid returns the calling goroutine's id, parsed from the runtime stack
+// header ("goroutine 123 [running]:"). Callers gate on tagged.count so the
+// parse only happens while something is actually tagged.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	i := bytes.IndexByte(s, ' ')
+	if i <= 0 {
+		return 0
+	}
+	id, err := strconv.ParseUint(string(s[:i]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// TagGoroutine attaches tag to the calling goroutine until the returned
+// untag function runs. While tagged, every superstep committed on this
+// goroutine is delivered to the tagged observers together with tag. Tags do
+// not nest: a second TagGoroutine on the same goroutine replaces the first,
+// and its untag restores nothing — callers own the discipline of one tag
+// per goroutine at a time. untag must run on the same goroutine.
+func TagGoroutine(tag any) (untag func()) {
+	id := goid()
+	if _, loaded := tagged.tags.Swap(id, tag); !loaded {
+		tagged.count.Add(1)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if _, loaded := tagged.tags.LoadAndDelete(id); loaded {
+				tagged.count.Add(-1)
+			}
+		})
+	}
+}
+
+// AddTaggedObserver registers obs to receive every step committed on a
+// tagged goroutine, process-wide, and returns a function that removes it.
+func AddTaggedObserver(obs TaggedObserver) (remove func()) {
+	if obs == nil {
+		return func() {}
+	}
+	reg := &taggedReg{obs: obs}
+	tagged.mu.Lock()
+	defer tagged.mu.Unlock()
+	var cur []*taggedReg
+	if p := tagged.observers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*taggedReg, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = reg
+	tagged.observers.Store(&next)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			tagged.mu.Lock()
+			defer tagged.mu.Unlock()
+			var cur []*taggedReg
+			if p := tagged.observers.Load(); p != nil {
+				cur = *p
+			}
+			next := make([]*taggedReg, 0, len(cur))
+			for _, r := range cur {
+				if r != reg {
+					next = append(next, r)
+				}
+			}
+			tagged.observers.Store(&next)
+		})
+	}
+}
+
+// notifyTagged fans a committed step out to the tagged observers when the
+// committing goroutine carries a tag. Called from Core commit, on the
+// driver goroutine.
+func notifyTagged(st StepStats) {
+	if tagged.count.Load() == 0 {
+		return
+	}
+	p := tagged.observers.Load()
+	if p == nil || len(*p) == 0 {
+		return
+	}
+	tag, ok := tagged.tags.Load(goid())
+	if !ok {
+		return
+	}
+	for _, r := range *p {
+		r.obs.OnTaggedStep(tag, st)
+	}
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// This file is the subscriber seam: InjectWriter wraps an io.Writer so a
+// fault plan can impersonate a misbehaving streaming client — one that
+// drains slowly (Slow), hangs up mid-stream (Error), or takes half a frame
+// and then vanishes (PartialWrite). The SSE layer of the run service writes
+// every frame through this seam, which is how the stream chaos suite proves
+// a pathological subscriber can slow only its own stream, never the
+// executor feeding it.
+
+// InjectWriter wraps w so that plan rules at point inject faults into each
+// Write: Slow sleeps (bounded by ctx) before writing, Error fails the write
+// without transferring anything, PartialWrite writes half the buffer and
+// then fails. A nil plan injects nothing; a nil ctx is background.
+func InjectWriter(w io.Writer, plan *Plan, point string, ctx context.Context) io.Writer {
+	if plan == nil {
+		return w
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &injectWriter{w: w, plan: plan, point: point, ctx: ctx}
+}
+
+type injectWriter struct {
+	w     io.Writer
+	plan  *Plan
+	point string
+	ctx   context.Context
+}
+
+func (iw *injectWriter) Write(p []byte) (int, error) {
+	inj := iw.plan.At(iw.point)
+	if inj == nil {
+		return iw.w.Write(p)
+	}
+	switch inj.Kind {
+	case Panic:
+		panic("fault: injected panic at " + iw.point)
+	case Slow:
+		// A slow consumer: the write itself stalls, bounded by ctx so a
+		// cancelled stream does not pin the goroutine.
+		t := time.NewTimer(inj.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-iw.ctx.Done():
+			return 0, iw.ctx.Err()
+		}
+		return iw.w.Write(p)
+	case PartialWrite:
+		// Half a frame reaches the client, then the connection dies.
+		n, err := iw.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, inj.Err
+	default: // Error: the client hung up
+		return 0, inj.Err
+	}
+}

@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInjectWriterKinds(t *testing.T) {
+	plan := NewPlan(7,
+		Rule{Point: "sub.write", Kind: Error, After: 1, Count: 1},
+		Rule{Point: "sub.write", Kind: PartialWrite, After: 2, Count: 1},
+	)
+	var buf bytes.Buffer
+	w := InjectWriter(&buf, plan, "sub.write", nil)
+
+	// Hit 0: clean write.
+	if n, err := w.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("clean write = (%d, %v)", n, err)
+	}
+	// Hit 1: the client hung up — nothing transferred.
+	if n, err := w.Write([]byte("efgh")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("error write = (%d, %v)", n, err)
+	}
+	// Hit 2: half a frame, then the line dies.
+	if n, err := w.Write([]byte("ijkl")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write = (%d, %v)", n, err)
+	}
+	if got := buf.String(); got != "abcdij" {
+		t.Fatalf("bytes through the seam = %q, want %q", got, "abcdij")
+	}
+}
+
+func TestInjectWriterSlowBoundedByContext(t *testing.T) {
+	plan := NewPlan(7, Rule{Point: "sub.write", Kind: Slow, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	w := InjectWriter(&buf, plan, "sub.write", ctx)
+	start := time.Now()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled write err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled context did not cut the stall short")
+	}
+}
+
+func TestInjectWriterNilPlanIsTransparent(t *testing.T) {
+	var buf strings.Builder
+	w := InjectWriter(&buf, nil, "sub.write", nil)
+	if _, ok := w.(*injectWriter); ok {
+		t.Fatal("nil plan should return the writer unwrapped")
+	}
+}

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parbw/internal/cluster"
+	"parbw/internal/fault"
+	"parbw/internal/harness"
+	"parbw/internal/result"
+)
+
+// Cluster streaming: execution partitioned across the ring by store-key
+// ownership, with the origin's single event stream reporting every cell —
+// terminal events exactly once (published origin-side from forward results),
+// owner-side progress riding a lossy best-effort back-channel.
+
+// spreadSeeds builds a seed list with `per` table1/broadcast quick-keys owned
+// by each ring member, so a sweep provably exercises every node.
+func spreadSeeds(t *testing.T, cl *cluster.Client, members []string, per int) []uint64 {
+	t.Helper()
+	var seeds []uint64
+	var last uint64
+	for _, m := range members {
+		after := last
+		for i := 0; i < per; i++ {
+			s := seedOwnedBy(t, cl, m, after)
+			seeds = append(seeds, s)
+			after = s
+			if s > last {
+				last = s
+			}
+		}
+	}
+	return seeds
+}
+
+// A uniform grid on a healthy 3-node ring: ownership partitions the work
+// (every node runs its share), and the origin's stream reports each cell's
+// terminal event exactly once, naming the node that ran it.
+func TestClusterPartitionedExecutionStreamsAllCells(t *testing.T) {
+	nodes := newTestCluster(t, 3, func(i int, so *Options, co *cluster.Options) {
+		so.StepSample = -1
+		so.Heartbeat = -1
+	})
+	members := []string{"node-0", "node-1", "node-2"}
+	seeds := spreadSeeds(t, nodes[0].client, members, 2)
+
+	job, err := nodes[0].srv.Submit(RunRequest{
+		Experiments: []string{"table1/broadcast"}, Seeds: seeds, Quick: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state := waitState(t, job); state != StatusDone {
+		t.Fatalf("sweep state %q, want done", state)
+	}
+
+	// Every node ran its owned share — distribution, not just placement.
+	for _, n := range nodes {
+		if runs := n.srv.Stats().TasksRun; runs == 0 {
+			t.Fatalf("%s ran no tasks; execution was not partitioned", n.name)
+		}
+	}
+
+	// Admission recorded each task's owner; the stream's terminal events name
+	// the node that ran each cell, exactly once per cell.
+	ts := httptest.NewServer(nodes[0].srv.Handler())
+	defer ts.Close()
+	view := job.View()
+	byTask := map[int][]Event{}
+	job.WatchEvents(context.Background(), 0, func(ev Event) {
+		if TerminalEvent(ev.Type) {
+			byTask[ev.Task] = append(byTask[ev.Task], ev)
+		}
+	})
+	if len(byTask) != len(seeds) {
+		t.Fatalf("terminal events cover %d cells, want %d", len(byTask), len(seeds))
+	}
+	for idx, evs := range byTask {
+		if len(evs) != 1 {
+			t.Fatalf("task %d got %d terminal events, want 1", idx, len(evs))
+		}
+		ev := evs[0]
+		owner := view.Tasks[idx].Owner
+		if owner == "" {
+			t.Fatalf("task %d has no recorded owner", idx)
+		}
+		if ev.Type != EventCompleted {
+			t.Fatalf("task %d terminal = %q, want completed", idx, ev.Type)
+		}
+		if ev.Node != owner {
+			t.Fatalf("task %d completed on %q, owner is %q", idx, ev.Node, owner)
+		}
+		if wantFwd := owner != "node-0"; ev.Forwarded != wantFwd {
+			t.Fatalf("task %d forwarded=%v, owner %s", idx, ev.Forwarded, owner)
+		}
+	}
+	// The owner shows up on the tasks resource too.
+	var page taskPage
+	if code := getJSON(t, ts, "/v1/runs/"+view.ID+"/tasks", &page); code != http.StatusOK {
+		t.Fatalf("tasks page status %d", code)
+	}
+	for i, tv := range page.Tasks {
+		if tv.Owner != view.Tasks[i].Owner {
+			t.Fatalf("task %d owner %q over HTTP, %q internally", i, tv.Owner, view.Tasks[i].Owner)
+		}
+	}
+}
+
+// streamChaosCluster builds one 3-node cluster whose origin suffers the given
+// deterministic peer faults, runs the fixed sweep, and returns the origin's
+// raw replayed SSE bytes.
+func streamChaosCluster(t *testing.T, seeds []uint64) (string, []*clusterNode) {
+	t.Helper()
+	plan := fault.NewPlan(chaosSeed,
+		fault.Rule{Point: peerPoint("node-1", fault.RTSend), Kind: fault.Error},
+		fault.Rule{Point: peerPoint("node-2", fault.RTSend), Kind: fault.Error},
+	)
+	nodes := newTestCluster(t, 3, func(i int, so *Options, co *cluster.Options) {
+		so.Workers = 1 // deterministic task order → deterministic event order
+		so.StepSample = -1
+		so.Heartbeat = -1
+		if i == 0 {
+			co.PeerTransports = map[string]http.RoundTripper{
+				"node-1": fault.InjectTransport(nil, plan, peerPoint("node-1", "")),
+				"node-2": fault.InjectTransport(nil, plan, peerPoint("node-2", "")),
+			}
+			co.BreakerThreshold = -1
+		}
+	})
+	job, err := nodes[0].srv.Submit(RunRequest{
+		Experiments: []string{"table1/broadcast"}, Seeds: seeds, Quick: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state := waitState(t, job); state != StatusDone {
+		t.Fatalf("chaos sweep state %q, want done (degrade, never fail)", state)
+	}
+
+	ts := httptest.NewServer(nodes[0].srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + job.View().ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw), nodes
+}
+
+// Fixed-seed chaos: two independent clusters driven through the same seeded
+// peer-failure plan produce byte-identical origin streams — events carry no
+// wall-clock fields, ids are deterministic, heartbeats are off — and the
+// stream shows degrade, never failure.
+func TestClusterChaosStreamByteStable(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	a, nodesA := streamChaosCluster(t, seeds)
+	b, _ := streamChaosCluster(t, seeds)
+	if a != b {
+		t.Fatalf("fixed-seed chaos streams diverge:\n--- run A ---\n%s\n--- run B ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "event: degraded\n") {
+		t.Fatalf("chaos stream shows no degrade events:\n%s", a)
+	}
+	if strings.Contains(a, "event: failed\n") || strings.Contains(a, "event: cancelled\n") {
+		t.Fatalf("chaos stream shows failure — peers down must degrade, never fail:\n%s", a)
+	}
+	if st := nodesA[0].srv.Stats(); st.ForwardDegraded == 0 {
+		t.Fatalf("stats = %+v, want degraded forwards (else the chaos never bit)", st)
+	}
+}
+
+// The event back-channel: while the origin's job has a live subscriber and
+// step events are on, a forwarded task's owner posts progress (its started
+// event plus sampled engine steps) back onto the origin's bus — best-effort,
+// while terminal events still arrive exactly once from the forward result.
+func TestClusterEventBackChannel(t *testing.T) {
+	gate := make(chan struct{})
+	nodes := newTestCluster(t, 2, func(i int, so *Options, co *cluster.Options) {
+		so.StepSample = 1
+		so.Heartbeat = -1
+		if i == 0 {
+			so.Workers = 1
+			base := so.Runner
+			if base == nil {
+				base = DefaultRunner
+			}
+			so.Runner = func(id string, cfg harness.Config) (*result.Result, error) {
+				<-gate // each local task waits for the test's go-ahead
+				return base(id, cfg)
+			}
+		}
+	})
+	local1 := seedOwnedBy(t, nodes[0].client, "node-0", 0)
+	remote := seedOwnedBy(t, nodes[0].client, "node-1", 0)
+	local2 := seedOwnedBy(t, nodes[0].client, "node-0", local1)
+
+	job, err := nodes[0].srv.Submit(RunRequest{
+		Experiments: []string{"table1/broadcast"},
+		Seeds:       []uint64{local1, remote, local2}, // local, forwarded, local
+		Quick:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []Event
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		job.WatchEvents(ctx, 0, func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		})
+	}()
+
+	// The forward only requests progress events while someone is subscribed —
+	// wait for the watcher's subscription before releasing the first task.
+	for !job.Events().HasSubscribers() {
+		if ctx.Err() != nil {
+			t.Fatal("watcher never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate <- struct{}{} // release task 0; task 1 then forwards with WantEvents
+	sawOwnerProgress := func() (started, step bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, ev := range events {
+			if ev.Node != "node-1" {
+				continue
+			}
+			switch ev.Type {
+			case EventStarted:
+				started = true
+			case EventStep:
+				step = true
+			}
+		}
+		return
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if started, step := sawOwnerProgress(); started && step {
+			break
+		}
+		if time.Now().After(deadline) {
+			started, step := sawOwnerProgress()
+			t.Fatalf("owner progress never arrived (started=%v step=%v); back-channel dead", started, step)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	gate <- struct{}{} // release task 2; the job can finish
+	if state := waitState(t, job); state != StatusDone {
+		t.Fatalf("state %q, want done", state)
+	}
+	<-watchDone
+
+	// Terminal exactly-once survives the lossy back-channel: the owner's
+	// events are progress only, the forwarded task's single terminal event is
+	// origin-published with the owner's name.
+	mu.Lock()
+	defer mu.Unlock()
+	terminal := map[int]int{}
+	for _, ev := range events {
+		if TerminalEvent(ev.Type) {
+			terminal[ev.Task]++
+		}
+	}
+	for idx := 0; idx < 3; idx++ {
+		if terminal[idx] != 1 {
+			t.Fatalf("task %d got %d terminal events, want 1 (%+v)", idx, terminal[idx], terminal)
+		}
+	}
+	for _, ev := range events {
+		if TerminalEvent(ev.Type) && ev.Task == 1 {
+			if ev.Node != "node-1" || !ev.Forwarded {
+				t.Fatalf("forwarded task terminal = %+v, want completed on node-1", ev)
+			}
+		}
+	}
+	// The owner's client counted the posts.
+	snap := nodes[1].client.Snapshot()
+	if ps := snap.Peers["node-0"]; ps.EventsPosted == 0 {
+		t.Fatalf("node-1 peer stats = %+v, want progress events posted to node-0", ps)
+	}
+}

@@ -26,12 +26,23 @@ import (
 //	POST /v1/runs          submit a sweep; waits for completion unless "wait": false.
 //	                       "params" fixes parameters (scalars) and declares sweep
 //	                       axes (arrays); the job is the cross product
-//	                       experiments × param grid × seeds, one cached task per cell
-//	GET  /v1/runs          job listing; supports ?limit= and ?cursor= pagination
-//	                       plus ?experiment= filtering (see handleListRuns)
-//	GET  /v1/runs/{id}     a job by id ("job-000001"), or — when {id} is a
-//	                       64-hex run-store key — the stored canonical result JSON
-//	DELETE /v1/runs/{id}   cancel a job, or delete a stored result by key
+//	                       experiments × param grid × seeds, one cached task per cell.
+//	                       Responses are job summaries (counts by task state) —
+//	                       tasks page through /tasks, result bytes live in /v1/results
+//	GET  /v1/runs          job summary listing; supports ?limit= and ?cursor=
+//	                       pagination plus ?experiment= filtering (see handleListRuns)
+//	GET  /v1/runs/{id}     one job summary by id ("job-000001")
+//	GET  /v1/runs/{id}/tasks
+//	                       the job's tasks — state, resolved params, result key,
+//	                       owner node — paginated with ?limit= and ?cursor=
+//	GET  /v1/runs/{id}/events
+//	                       live Server-Sent Events stream of the job (stream.go):
+//	                       task lifecycle + sampled engine steps, Last-Event-ID
+//	                       resume, heartbeat comments
+//	DELETE /v1/runs/{id}   cancel a job
+//	GET  /v1/results/{key} the stored canonical result JSON, byte-for-byte
+//	DELETE /v1/results/{key}
+//	                       delete a stored result
 //	GET  /v1/healthz       liveness; add ?ready=1 for the readiness check
 //	GET  /v1/readyz        readiness: store writability + dispatcher liveness;
 //	                       in cluster mode the body also carries advisory
@@ -82,19 +93,34 @@ func (s *Server) Handler() http.Handler {
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
-		mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.method, rt.path, rt.h))
+		if !s.opts.NoUnversionedAliases {
+			mux.HandleFunc(rt.method+" "+rt.path, deprecatedAlias(rt.method, rt.path, rt.h))
+		}
 	}
+	// Resources new in v1 — the jobs/results split, task pagination, and the
+	// live event stream — never get unversioned aliases.
+	mux.HandleFunc("GET /v1/runs/{id}/tasks", s.handleRunTasks)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
+	mux.HandleFunc("DELETE /v1/results/{key}", s.handleDeleteResult)
 	// Cluster endpoints are new in v1 and peer-facing; they get no
-	// unversioned aliases. ForwardPath is the constant the forwarding client
-	// posts to, so the two sides cannot drift apart.
+	// unversioned aliases. ForwardPath/EventPath are the constants the
+	// forwarding client uses, so the two sides cannot drift apart.
 	mux.HandleFunc("POST "+cluster.ForwardPath, s.handleClusterRun)
+	mux.HandleFunc("POST "+cluster.EventPath, s.handleClusterEvents)
 	mux.HandleFunc("GET /v1/cluster/ring", s.handleClusterRing)
 	return mux
 }
 
+// sunsetDate is the RFC 8594 Sunset announced on every deprecated surface:
+// the date after which the unversioned aliases and the key-on-runs paths may
+// be removed.
+const sunsetDate = "Fri, 01 Jan 2027 00:00:00 GMT"
+
 // deprecatedAlias keeps an unversioned path answering exactly like its /v1
 // twin while logging a deprecation notice the first time it is hit and
-// marking every response with a Deprecation header (RFC 9745).
+// marking every response with Deprecation (RFC 9745) and Sunset (RFC 8594)
+// headers.
 func deprecatedAlias(method, path string, h http.HandlerFunc) http.HandlerFunc {
 	var once sync.Once
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -102,8 +128,23 @@ func deprecatedAlias(method, path string, h http.HandlerFunc) http.HandlerFunc {
 			log.Printf("service: deprecated unversioned path %s %s — use %s /v1%s", method, path, method, path)
 		})
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", sunsetDate)
 		h(w, r)
 	}
+}
+
+// markKeyOnRunsDeprecated flags a response served through the legacy
+// key-on-runs overload (/v1/runs/{key} for a stored result) — same
+// once-logging and headers as the unversioned aliases. The replacement is
+// /v1/results/{key}.
+var keyOnRunsOnce sync.Once
+
+func markKeyOnRunsDeprecated(w http.ResponseWriter, method string) {
+	keyOnRunsOnce.Do(func() {
+		log.Printf("service: deprecated key-on-runs path %s /v1/runs/{key} — use %s /v1/results/{key}", method, method)
+	})
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Sunset", sunsetDate)
 }
 
 // writeJSON encodes v to w. Encode errors (a client that hung up mid-body,
@@ -221,15 +262,15 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Wait != nil && !*req.Wait {
-		s.writeJSON(w, http.StatusAccepted, job.View())
+		s.writeJSON(w, http.StatusAccepted, job.Summary())
 		return
 	}
 	if state := job.Wait(r.Context()); state == "" {
 		// Client went away; the job keeps running and stays fetchable.
-		s.writeJSON(w, http.StatusAccepted, job.View())
+		s.writeJSON(w, http.StatusAccepted, job.Summary())
 		return
 	}
-	s.writeJSON(w, http.StatusOK, job.View())
+	s.writeJSON(w, http.StatusOK, job.Summary())
 }
 
 // maxListLimit caps one page of GET /v1/runs.
@@ -239,8 +280,8 @@ const maxListLimit = 500
 // a limit was given and more jobs remain; passing it back as ?cursor=
 // resumes the listing after the last job of this page.
 type runList struct {
-	Jobs       []JobView `json:"jobs"`
-	NextCursor string    `json:"next_cursor,omitempty"`
+	Jobs       []JobSummary `json:"jobs"`
+	NextCursor string       `json:"next_cursor,omitempty"`
 }
 
 // handleListRuns lists retained jobs, oldest first. Query parameters:
@@ -267,7 +308,7 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	jobs := s.Jobs()
+	jobs := s.Summaries()
 
 	if cursor := q.Get("cursor"); cursor != "" {
 		start := -1
@@ -287,8 +328,8 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	if exp := q.Get("experiment"); exp != "" {
 		kept := jobs[:0:len(jobs)]
 		for _, v := range jobs {
-			for _, t := range v.Tasks {
-				if t.Experiment == exp {
+			for _, e := range v.Experiments {
+				if e == exp {
 					kept = append(kept, v)
 					break
 				}
@@ -303,7 +344,7 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 		out.NextCursor = jobs[limit-1].ID
 	}
 	if out.Jobs == nil {
-		out.Jobs = []JobView{} // an empty page is [], not null
+		out.Jobs = []JobSummary{} // an empty page is [], not null
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -311,17 +352,11 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if runstore.ValidKey(id) {
-		data, ok, err := s.opts.Store.GetBytes(id)
-		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
-			return
-		}
-		if !ok {
-			s.writeError(w, http.StatusNotFound, CodeNotFound, "no stored run with key %s", id)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(data)
+		// Legacy overload: a stored result fetched through the runs
+		// resource. Still answered, marked deprecated; /v1/results/{key} is
+		// the home of stored bytes since the resource split.
+		markKeyOnRunsDeprecated(w, "GET")
+		s.serveStoredResult(w, id)
 		return
 	}
 	job, ok := s.Job(id)
@@ -329,31 +364,74 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, CodeNotFound, "no job %q", id)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, job.View())
+	s.writeJSON(w, http.StatusOK, job.Summary())
 }
 
-// handleCancelRun cancels a job by id, or deletes a stored result when the
-// id is a run-store key. The key path reads before deleting so that a
-// corrupt entry is quarantined and answered as a 404 miss (the delete of a
-// just-quarantined key is then a harmless no-op) instead of surfacing a
-// 500 for a result the client could never have fetched anyway.
+// serveStoredResult answers a stored result's canonical bytes, byte-for-byte.
+func (s *Server) serveStoredResult(w http.ResponseWriter, key string) {
+	data, ok, err := s.opts.Store.GetBytes(key)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "no stored run with key %s", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// deleteStoredResult deletes a stored result by key. It reads before
+// deleting so that a corrupt entry is quarantined and answered as a 404 miss
+// (the delete of a just-quarantined key is then a harmless no-op) instead of
+// surfacing a 500 for a result the client could never have fetched anyway.
+func (s *Server) deleteStoredResult(w http.ResponseWriter, key string) {
+	_, ok, err := s.opts.Store.GetBytes(key)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "no stored run with key %s", key)
+		return
+	}
+	if err := s.opts.Store.Delete(key); err != nil {
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
+}
+
+// handleGetResult serves GET /v1/results/{key}: the stored canonical result
+// JSON, exactly as stored.
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !runstore.ValidKey(key) {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%q is not a run-store key (64 hex chars)", key)
+		return
+	}
+	s.serveStoredResult(w, key)
+}
+
+// handleDeleteResult serves DELETE /v1/results/{key}.
+func (s *Server) handleDeleteResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !runstore.ValidKey(key) {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "%q is not a run-store key (64 hex chars)", key)
+		return
+	}
+	s.deleteStoredResult(w, key)
+}
+
+// handleCancelRun cancels a job by id. The legacy overload — DELETE with a
+// run-store key — still deletes the stored result, marked deprecated in
+// favor of DELETE /v1/results/{key}.
 func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if runstore.ValidKey(id) {
-		_, ok, err := s.opts.Store.GetBytes(id)
-		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
-			return
-		}
-		if !ok {
-			s.writeError(w, http.StatusNotFound, CodeNotFound, "no stored run with key %s", id)
-			return
-		}
-		if err := s.opts.Store.Delete(id); err != nil {
-			s.writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		markKeyOnRunsDeprecated(w, "DELETE")
+		s.deleteStoredResult(w, id)
 		return
 	}
 	job, ok := s.Job(id)
@@ -362,7 +440,65 @@ func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.Cancel()
-	s.writeJSON(w, http.StatusOK, job.View())
+	s.writeJSON(w, http.StatusOK, job.Summary())
+}
+
+// taskPage is the response of GET /v1/runs/{id}/tasks: a window of the
+// job's tasks in submission order. Task entries carry state, resolved
+// params, the result key, and (in cluster mode) the owning node — result
+// bytes live under /v1/results/{key}. NextCursor appears when more tasks
+// remain; pass it back as ?cursor= to resume.
+type taskPage struct {
+	Tasks      []TaskView `json:"tasks"`
+	Total      int        `json:"total"`
+	NextCursor string     `json:"next_cursor,omitempty"`
+}
+
+// handleRunTasks pages through a job's tasks. ?limit= (1..500, default the
+// whole list) bounds the page; ?cursor= is the opaque value of the previous
+// page's next_cursor (a task index — stable because a job's task list is
+// immutable after admission).
+func (s *Server) handleRunTasks(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "limit must be a positive integer, got %q", raw)
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
+	}
+	tasks := job.View().Tasks
+	start := 0
+	if raw := q.Get("cursor"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 || n > len(tasks) {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown cursor %q", raw)
+			return
+		}
+		start = n
+	}
+	page := taskPage{Total: len(tasks)}
+	window := tasks[start:]
+	if limit > 0 && len(window) > limit {
+		window = window[:limit]
+		page.NextCursor = strconv.Itoa(start + limit)
+	}
+	page.Tasks = make([]TaskView, len(window))
+	for i, t := range window {
+		t.Result = nil // bytes live under /v1/results/{key}
+		page.Tasks[i] = t
+	}
+	s.writeJSON(w, http.StatusOK, page)
 }
 
 // handleHealthz is pure liveness — the process is up and serving — unless

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"parbw/internal/cluster"
+	"parbw/internal/engine"
 	"parbw/internal/fault"
 	"parbw/internal/harness"
 	"parbw/internal/result"
@@ -95,6 +96,22 @@ type Options struct {
 	// Fault is an optional chaos plan; nil injects nothing.
 	Fault *fault.Plan
 
+	// Live streaming (GET /v1/runs/{id}/events). SubscriberBuffer bounds each
+	// subscriber's pending-event queue — a slower client loses events (with a
+	// gap marker) instead of back-pressuring the executor. ReplayEvents bounds
+	// the per-job ring that serves Last-Event-ID resume. Heartbeat paces the
+	// SSE keepalive comments. StepSample publishes every Nth committed engine
+	// superstep of a task as a lossy "step" event while anyone is subscribed.
+	SubscriberBuffer int           // <=0 → 4096
+	ReplayEvents     int           // <=0 → 4096
+	Heartbeat        time.Duration // 0 → 15s; <0 → no heartbeats
+	StepSample       int           // 0 → 64; <0 → step events disabled
+
+	// NoUnversionedAliases drops the deprecated pre-v1 alias paths from the
+	// handler: only /v1 answers. The default (false) keeps the aliases,
+	// matching `serve -compat-unversioned=true`.
+	NoUnversionedAliases bool
+
 	// Cluster, when non-nil, turns the server into one node of a sharded
 	// cluster: run-store keys are placed on a consistent-hash ring, and a
 	// task whose key is owned by a peer is forwarded there (cluster.go).
@@ -123,6 +140,7 @@ type Task struct {
 	Seed       uint64         `json:"seed"`
 	Params     []result.Param `json:"params"`
 	Key        string         `json:"key"`
+	Owner      string         `json:"owner,omitempty"` // cluster node owning this key ("" single-node)
 	Status     string         `json:"status"`
 	Cached     bool           `json:"cached"`
 	Forwarded  bool           `json:"forwarded,omitempty"` // answered by the key's owning peer
@@ -153,7 +171,12 @@ type Job struct {
 
 	cancel context.CancelFunc
 	done   chan struct{}
+	bus    *bus // the job's event stream; closed when the job finishes
 }
+
+// Events exposes the job's event bus for in-process subscribers (the SSE
+// handler, tests, and the cluster event back-channel).
+func (j *Job) Events() *bus { return j.bus }
 
 // TaskView is the JSON shape of a task, including the cached result bytes.
 type TaskView struct {
@@ -161,6 +184,7 @@ type TaskView struct {
 	Seed       uint64          `json:"seed"`
 	Params     []result.Param  `json:"params"`
 	Key        string          `json:"key"`
+	Owner      string          `json:"owner,omitempty"`
 	Status     string          `json:"status"`
 	Cached     bool            `json:"cached"`
 	Forwarded  bool            `json:"forwarded,omitempty"`
@@ -180,6 +204,54 @@ type JobView struct {
 	Finished  *time.Time `json:"finished,omitempty"`
 	TimeoutMS int64      `json:"timeout_ms"`
 	Tasks     []TaskView `json:"tasks"`
+}
+
+// JobSummary is the HTTP shape of a job since the jobs/results resource
+// split: identity, state, and counts — never the task list or result bytes.
+// Tasks page through GET /v1/runs/{id}/tasks; stored results live under
+// GET /v1/results/{key}.
+type JobSummary struct {
+	ID          string         `json:"id"`
+	State       string         `json:"state"`
+	Created     time.Time      `json:"created"`
+	Started     *time.Time     `json:"started,omitempty"`
+	Finished    *time.Time     `json:"finished,omitempty"`
+	TimeoutMS   int64          `json:"timeout_ms"`
+	TaskCount   int            `json:"task_count"`
+	TaskStates  map[string]int `json:"task_states"`
+	Experiments []string       `json:"experiments"`
+}
+
+// Summary snapshots the job as its HTTP summary view.
+func (j *Job) Summary() JobSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobSummary{
+		ID:         j.id,
+		State:      j.state,
+		Created:    j.created,
+		TimeoutMS:  j.timeout.Milliseconds(),
+		TaskCount:  len(j.tasks),
+		TaskStates: map[string]int{},
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	seen := map[string]bool{}
+	for _, t := range j.tasks {
+		v.TaskStates[t.Status]++
+		if !seen[t.Experiment] {
+			seen[t.Experiment] = true
+			v.Experiments = append(v.Experiments, t.Experiment)
+		}
+	}
+	sort.Strings(v.Experiments)
+	return v
 }
 
 // View snapshots the job for serialization.
@@ -207,6 +279,7 @@ func (j *Job) View() JobView {
 			Seed:       t.Seed,
 			Params:     t.Params,
 			Key:        t.Key,
+			Owner:      t.Owner,
 			Status:     t.Status,
 			Cached:     t.Cached,
 			Forwarded:  t.Forwarded,
@@ -267,9 +340,13 @@ type Stats struct {
 	BreakerOpens    uint64 `json:"breaker_opens"`
 	BreakerOpen     bool   `json:"breaker_open"`
 	EncodeErrors    uint64 `json:"http_encode_errors"`
-	Draining        bool   `json:"draining"`
-	QueueLen        int    `json:"queue_len"`
-	Workers         int    `json:"workers"`
+	// Live-stream counters (the per-job event buses).
+	StreamEventsPublished uint64 `json:"stream_events_published"`
+	StreamEventsDropped   uint64 `json:"stream_events_dropped"`
+	StreamEventsCoalesced uint64 `json:"stream_events_coalesced"`
+	Draining              bool   `json:"draining"`
+	QueueLen              int    `json:"queue_len"`
+	Workers               int    `json:"workers"`
 }
 
 // Server owns the job queue, the executor, and the run store.
@@ -288,6 +365,9 @@ type Server struct {
 	drainOnce      sync.Once
 	drainCh        chan struct{}
 	dispatcherDone chan struct{}
+
+	streamM   busMetrics // server-wide streaming counters (every job bus feeds them)
+	removeTap func()     // detaches the engine tagged-observer bridge
 
 	mu       sync.Mutex
 	closed   bool
@@ -337,6 +417,18 @@ func New(opts Options) (*Server, error) {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 5 * time.Second
 	}
+	if opts.SubscriberBuffer <= 0 {
+		opts.SubscriberBuffer = 4096
+	}
+	if opts.ReplayEvents <= 0 {
+		opts.ReplayEvents = 4096
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 15 * time.Second
+	}
+	if opts.StepSample == 0 {
+		opts.StepSample = 64
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:           opts,
@@ -352,9 +444,42 @@ func New(opts Options) (*Server, error) {
 		dispatcherDone: make(chan struct{}),
 		jobs:           map[string]*Job{},
 	}
+	// The engine→bus bridge: tasks with live subscribers tag their executor
+	// goroutine (runTask), and this observer turns the tagged step commits
+	// into sampled "step" events on the owning job's bus. With no tags the
+	// engine-side cost is two atomic loads per step.
+	s.removeTap = engine.AddTaggedObserver(engine.TaggedObserverFunc(s.onTaggedStep))
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
+}
+
+// nodeName is this server's cluster identity, or "" on a single-node server.
+func (s *Server) nodeName() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.Self()
+}
+
+// stepTag marks an executor goroutine as driving one task of one job. The
+// bridge checks srv so that multiple Servers in one process (cluster tests)
+// never deliver each other's steps.
+type stepTag struct {
+	srv  *Server
+	emit func(st engine.StepStats)
+	n    int // steps seen; only the tagged goroutine touches it
+}
+
+func (s *Server) onTaggedStep(tag any, st engine.StepStats) {
+	tg, ok := tag.(*stepTag)
+	if !ok || tg.srv != s {
+		return
+	}
+	tg.n++
+	if sample := s.opts.StepSample; sample > 0 && (tg.n-1)%sample == 0 {
+		tg.emit(st)
+	}
 }
 
 // Close is the hard stop: it cancels every running job, stops the
@@ -366,6 +491,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	s.removeTap()
 }
 
 // Shutdown is the graceful drain: new submissions are rejected, jobs still
@@ -415,6 +541,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
+	s.removeTap()
 	return err
 }
 
@@ -577,6 +704,14 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 		}
 	}
 
+	// Partition the grid at admission: in cluster mode every task records the
+	// node owning its store key, and the executor ships it there (cluster.go).
+	if s.cluster != nil {
+		for _, t := range tasks {
+			t.Owner = s.cluster.Owner(t.Key)
+		}
+	}
+
 	jobCtx, jobCancel := context.WithCancel(s.baseCtx)
 	job := &Job{
 		timeout: timeout,
@@ -586,6 +721,7 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 		created: time.Now(),
 		cancel:  jobCancel,
 		done:    make(chan struct{}),
+		bus:     newBus(s.opts.ReplayEvents, s.opts.SubscriberBuffer, &s.streamM),
 	}
 
 	s.mu.Lock()
@@ -619,6 +755,17 @@ func (s *Server) Submit(req RunRequest) (*Job, error) {
 	s.stats.JobsAccepted++
 	s.pruneLocked()
 	s.mu.Unlock()
+	// Admission events: one per cell, carrying the full resolved identity so
+	// a stream consumer needs no side lookups. Subscribers attach later (they
+	// need the job id first); the replay ring catches them up.
+	job.bus.publish(Event{Type: EventJob, Task: -1, State: StatusQueued})
+	for i, t := range tasks {
+		job.bus.publish(Event{
+			Type: EventAdmitted, Task: i,
+			Experiment: t.Experiment, Seed: t.Seed, Params: t.Params,
+			Key: t.Key, Node: t.Owner,
+		})
+	}
 	return job, nil
 }
 
@@ -764,6 +911,24 @@ func (s *Server) Jobs() []JobView {
 	return out
 }
 
+// Summaries returns the HTTP summary of every retained job, oldest first.
+func (s *Server) Summaries() []JobSummary {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobSummary, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Summary()
+	}
+	return out
+}
+
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -774,6 +939,9 @@ func (s *Server) Stats() Stats {
 	st.Draining = s.draining
 	st.BreakerOpen = s.breaker.Open(time.Now())
 	st.BreakerOpens = s.breaker.Opens()
+	st.StreamEventsPublished = s.streamM.published.Load()
+	st.StreamEventsDropped = s.streamM.dropped.Load()
+	st.StreamEventsCoalesced = s.streamM.coalesced.Load()
 	return st
 }
 
@@ -846,22 +1014,25 @@ func (s *Server) runJob(job *Job) {
 	job.started = time.Now()
 	tasks := job.tasks
 	job.mu.Unlock()
+	job.bus.publish(Event{Type: EventJob, Task: -1, State: StatusRunning})
 
 	ctx, cancelTimeout := context.WithTimeout(job.runCtx, job.timeout)
 	defer cancelTimeout()
 
 	s.pool.ForCtx(ctx, len(tasks), func(i int) {
-		s.runTask(ctx, job, tasks[i])
+		s.runTask(ctx, job, i, tasks[i])
 	})
 
 	state := StatusDone
+	var swept []int // tasks cancelled here, not by runTask: they still owe a terminal event
 	job.mu.Lock()
-	for _, t := range tasks {
+	for i, t := range tasks {
 		switch t.Status {
 		case StatusPending, StatusRunning:
 			t.Status = StatusCancelled
 			t.Error = contextReason(ctx)
 			state = StatusCancelled
+			swept = append(swept, i)
 		case StatusCancelled:
 			state = StatusCancelled
 		case StatusFailed:
@@ -871,6 +1042,9 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 	job.mu.Unlock()
+	for _, i := range swept {
+		job.bus.publish(Event{Type: EventCancelled, Task: i, Key: tasks[i].Key, Error: contextReason(ctx)})
+	}
 	s.finishJob(job, state)
 }
 
@@ -889,17 +1063,35 @@ func (s *Server) finishJob(job *Job, state string) {
 	job.mu.Lock()
 	alreadyDone := terminal(job.state)
 	var wall time.Duration
+	var neverRan []int // tasks that never dispatched (job cancelled while queued)
+	counts := map[string]int{}
 	if !alreadyDone {
 		job.state = state
 		job.finished = time.Now()
 		if !job.started.IsZero() {
 			wall = job.finished.Sub(job.started)
 		}
+		for i, t := range job.tasks {
+			st := t.Status
+			if st == StatusPending || st == StatusRunning {
+				neverRan = append(neverRan, i)
+				st = StatusCancelled // what the terminal event below reports
+			}
+			counts[st]++
+		}
 	}
 	job.mu.Unlock()
 	if alreadyDone {
 		return
 	}
+	// Close out the stream: terminal events for tasks nothing else will
+	// report on, the job's terminal event with the final tally, then the bus
+	// seals so every subscriber drains and ends.
+	for _, i := range neverRan {
+		job.bus.publish(Event{Type: EventCancelled, Task: i, Key: job.tasks[i].Key, Error: "job cancelled"})
+	}
+	job.bus.publish(Event{Type: EventJob, Task: -1, State: state, Counts: counts})
+	job.bus.close()
 	job.cancel()
 	close(job.done)
 	s.mu.Lock()
@@ -948,13 +1140,14 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 // fields are only touched under job.mu so HTTP snapshots never race the
 // executor. Store failures degrade (recompute, or complete uncached); they
 // never fail a task whose experiment ran successfully.
-func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
+func (s *Server) runTask(ctx context.Context, job *Job, idx int, t *Task) {
 	setTask := func(fn func()) {
 		job.mu.Lock()
 		fn()
 		job.mu.Unlock()
 	}
 	setTask(func() { t.Status = StatusRunning })
+	job.bus.publish(Event{Type: EventStarted, Task: idx, Experiment: t.Experiment, Seed: t.Seed, Key: t.Key, Node: s.nodeName()})
 
 	if ferr := s.fault.Fire(ctx, PointStoreGet); ferr != nil {
 		s.countStoreError()
@@ -970,6 +1163,7 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 		s.mu.Lock()
 		s.stats.TasksCached++
 		s.mu.Unlock()
+		job.bus.publish(Event{Type: EventCached, Task: idx, Key: t.Key, Cached: true, Node: s.nodeName()})
 		return
 	}
 
@@ -979,8 +1173,9 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 	// compute, marked Degraded so callers can see it took the fallback path.
 	degradeLocal := false
 	if s.cluster != nil {
-		if owner := s.cluster.Owner(t.Key); owner != "" && owner != s.cluster.Self() {
-			res, err := s.forwardTask(ctx, t)
+		if owner := t.Owner; owner != "" && owner != s.cluster.Self() {
+			job.bus.publish(Event{Type: EventForwarded, Task: idx, Key: t.Key, Node: owner})
+			res, err := s.forwardTask(ctx, job, idx, t)
 			if err == nil {
 				setTask(func() {
 					t.Forwarded = true
@@ -992,6 +1187,13 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 				s.mu.Lock()
 				s.stats.TasksForwarded++
 				s.mu.Unlock()
+				// The terminal event is always published origin-side from the
+				// forward result — exactly-once regardless of what the lossy
+				// owner-side back-channel delivered.
+				job.bus.publish(Event{
+					Type: EventCompleted, Task: idx, Key: t.Key, Node: owner,
+					Forwarded: true, Cached: res.RemoteCached, Degraded: res.RemoteDegraded,
+				})
 				return
 			}
 			if ctx.Err() != nil {
@@ -999,13 +1201,25 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 					t.Status = StatusCancelled
 					t.Error = contextReason(ctx)
 				})
+				job.bus.publish(Event{Type: EventCancelled, Task: idx, Key: t.Key, Error: contextReason(ctx)})
 				return
 			}
 			degradeLocal = true
 			s.mu.Lock()
 			s.stats.ForwardDegraded++
 			s.mu.Unlock()
+			job.bus.publish(Event{Type: EventDegraded, Task: idx, Key: t.Key, Node: s.nodeName()})
 		}
+	}
+
+	// Local compute: while anyone is watching, tag this goroutine so the
+	// engine's tagged observer bridges sampled step commits onto the bus.
+	if s.opts.StepSample > 0 && job.bus.HasSubscribers() {
+		node := s.nodeName()
+		untag := engine.TagGoroutine(&stepTag{srv: s, emit: func(st engine.StepStats) {
+			job.bus.publish(Event{Type: EventStep, Task: idx, Machine: st.Machine, Superstep: st.Index, Cost: st.Cost, Node: node})
+		}})
+		defer untag()
 	}
 
 	cfg := harness.Config{Seed: t.Seed, Params: paramMap(t.Params)}
@@ -1022,6 +1236,7 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 				t.Status = StatusCancelled
 				t.Error = contextReason(ctx)
 			})
+			job.bus.publish(Event{Type: EventCancelled, Task: idx, Key: t.Key, Error: contextReason(ctx)})
 			return
 		}
 		setTask(func() { t.Attempts = attempt })
@@ -1051,14 +1266,18 @@ func (s *Server) runTask(ctx context.Context, job *Job, t *Task) {
 			s.stats.TasksDegraded++
 		}
 		s.mu.Unlock()
+		job.bus.publish(Event{Type: EventCompleted, Task: idx, Key: t.Key, Degraded: degraded || degradeLocal, Node: s.nodeName()})
 		return
+	}
+	errMsg := ""
+	if lastErr != nil {
+		errMsg = lastErr.Error()
 	}
 	setTask(func() {
 		t.Status = StatusFailed
-		if lastErr != nil {
-			t.Error = lastErr.Error()
-		}
+		t.Error = errMsg
 	})
+	job.bus.publish(Event{Type: EventFailed, Task: idx, Key: t.Key, Error: errMsg})
 }
 
 // storeResult persists res under key through the circuit breaker. When the

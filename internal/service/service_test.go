@@ -114,27 +114,46 @@ func TestRepeatedRunServedFromStore(t *testing.T) {
 
 	body := `{"experiments":["table1/broadcast","sched/static"],"seeds":[1],"quick":true}`
 
-	type jobResp struct {
-		State string     `json:"state"`
-		Tasks []TaskView `json:"tasks"`
+	resultBytes := func(key string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/results/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/results/%s: status %d: %s", key, resp.StatusCode, raw)
+		}
+		return raw
 	}
+
 	code, first := postRuns(t, ts, body)
 	if code != http.StatusOK {
 		t.Fatalf("first POST: status %d: %s", code, first)
 	}
-	var j1 jobResp
+	var j1 JobSummary
 	if err := json.Unmarshal(first, &j1); err != nil {
 		t.Fatal(err)
 	}
-	if j1.State != StatusDone || len(j1.Tasks) != 2 {
-		t.Fatalf("first job: state=%s tasks=%d", j1.State, len(j1.Tasks))
+	if j1.State != StatusDone || j1.TaskCount != 2 {
+		t.Fatalf("first job: state=%s tasks=%d", j1.State, j1.TaskCount)
 	}
-	for _, task := range j1.Tasks {
+	tasks1 := jobTasks(t, ts, j1.ID)
+	if len(tasks1) != 2 {
+		t.Fatalf("tasks page has %d entries, want 2", len(tasks1))
+	}
+	raw1 := make([][]byte, len(tasks1))
+	for i, task := range tasks1 {
 		if task.Cached {
 			t.Fatalf("first run of %s reported cached", task.Experiment)
 		}
-		if len(task.Result) == 0 {
-			t.Fatalf("task %s has no result payload", task.Experiment)
+		if len(task.Result) != 0 {
+			t.Fatalf("tasks page for %s inlines the result payload; results live at /v1/results", task.Experiment)
+		}
+		raw1[i] = resultBytes(task.Key)
+		if len(raw1[i]) == 0 {
+			t.Fatalf("task %s has no stored result", task.Experiment)
 		}
 	}
 
@@ -145,15 +164,15 @@ func TestRepeatedRunServedFromStore(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("second POST: status %d", code)
 	}
-	var j2 jobResp
+	var j2 JobSummary
 	if err := json.Unmarshal(second, &j2); err != nil {
 		t.Fatal(err)
 	}
-	for i, task := range j2.Tasks {
+	for i, task := range jobTasks(t, ts, j2.ID) {
 		if !task.Cached {
 			t.Fatalf("second run of %s not served from store", task.Experiment)
 		}
-		if !bytes.Equal(task.Result, j1.Tasks[i].Result) {
+		if !bytes.Equal(resultBytes(task.Key), raw1[i]) {
 			t.Fatalf("%s: repeated run JSON not byte-identical", task.Experiment)
 		}
 	}
@@ -178,8 +197,9 @@ func TestRepeatedRunServedFromStore(t *testing.T) {
 			st1.Engine.Supersteps, st2.Engine.Supersteps)
 	}
 
-	// The stored result is also directly addressable by its key.
-	key := j1.Tasks[0].Key
+	// The stored result is also still addressable on the legacy key-on-runs
+	// alias, byte-for-byte the same as the results resource.
+	key := tasks1[0].Key
 	resp, err := http.Get(ts.URL + "/runs/" + key)
 	if err != nil {
 		t.Fatal(err)
@@ -189,14 +209,14 @@ func TestRepeatedRunServedFromStore(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /runs/%s: status %d", key, resp.StatusCode)
 	}
-	if !bytes.Equal(raw, j1.Tasks[0].Result) {
-		t.Fatal("key fetch differs from task result bytes")
+	if !bytes.Equal(raw, raw1[0]) {
+		t.Fatal("key fetch differs from results-resource bytes")
 	}
 	res, err := result.Decode(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Experiment != j1.Tasks[0].Experiment {
+	if res.Experiment != tasks1[0].Experiment {
 		t.Fatalf("stored result names %q", res.Experiment)
 	}
 }
@@ -416,13 +436,13 @@ func TestAsyncSubmitAndPoll(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("async POST: status %d: %s", code, body)
 	}
-	var v JobView
+	var v JobSummary
 	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var got JobView
+		var got JobSummary
 		if code := getJSON(t, ts, "/runs/"+v.ID, &got); code != http.StatusOK {
 			t.Fatalf("poll: status %d", code)
 		}
@@ -436,7 +456,7 @@ func TestAsyncSubmitAndPoll(t *testing.T) {
 	}
 
 	var list struct {
-		Jobs []JobView `json:"jobs"`
+		Jobs []JobSummary `json:"jobs"`
 	}
 	getJSON(t, ts, "/runs", &list)
 	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
@@ -458,7 +478,7 @@ func TestDeleteCancelsJob(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("status %d", code)
 	}
-	var v JobView
+	var v JobSummary
 	json.Unmarshal(body, &v)
 
 	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/runs/%s", ts.URL, v.ID), nil)

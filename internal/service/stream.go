@@ -1,0 +1,133 @@
+package service
+
+// GET /v1/runs/{id}/events — the SSE surface of the per-job event bus
+// (bus.go). Frames follow the text/event-stream format:
+//
+//	id: 42
+//	event: completed
+//	data: {"id":42,"type":"completed","task":3,...}
+//
+// Every event carries a monotonically increasing id (also inside the JSON,
+// so the data line is self-contained). A client that reconnects with a
+// Last-Event-ID header receives exactly the missed suffix still held by the
+// job's replay ring, preceded by a "gap" event when part of that suffix was
+// already evicted. Heartbeats are SSE comments (": hb") — they carry no id
+// and never perturb the event numbering, which is what keeps fixed-seed
+// streams byte-stable. The stream ends when the job reaches a terminal
+// state and the subscriber has drained its tail.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"parbw/internal/fault"
+)
+
+// PointSSEWrite fires on every SSE frame written to a subscriber; a chaos
+// plan can slow the write (stalled client), fail it (client hung up), or
+// tear it mid-frame (PartialWrite), all through fault.InjectWriter.
+const PointSSEWrite = "service.sse.write"
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "no job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported by this connection")
+		return
+	}
+	var lastID uint64
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, "bad Last-Event-ID %q", raw)
+			return
+		}
+		lastID = n
+	}
+
+	sub := job.bus.subscribe(lastID)
+	defer job.bus.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+
+	out := fault.InjectWriter(w, s.fault, PointSSEWrite, r.Context())
+	var hb <-chan time.Time
+	if s.opts.Heartbeat > 0 {
+		t := time.NewTicker(s.opts.Heartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
+	for {
+		evs, closed := sub.take()
+		for _, ev := range evs {
+			if err := writeSSE(out, ev); err != nil {
+				return // subscriber gone; its buffered events die with it
+			}
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-sub.notify:
+		case <-hb:
+			if _, err := io.WriteString(out, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event as an SSE frame. Gap events synthesized for a
+// subscriber reuse the id of the last event they replace, so the client's
+// Last-Event-ID stays monotone through a lossy stretch.
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data)
+	return err
+}
+
+// WatchEvents subscribes to a job's bus in-process and invokes fn for every
+// delivered event until the stream ends or ctx is cancelled. It is the Go
+// mirror of the SSE endpoint (used by tests and tooling embedding the
+// service), with the same loss semantics: bounded buffer, coalesced steps,
+// gap markers.
+func (j *Job) WatchEvents(ctx context.Context, lastID uint64, fn func(Event)) {
+	sub := j.bus.subscribe(lastID)
+	defer j.bus.unsubscribe(sub)
+	for {
+		evs, closed := sub.take()
+		for _, ev := range evs {
+			fn(ev)
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-sub.notify:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

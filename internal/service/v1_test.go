@@ -93,18 +93,28 @@ func TestErrorEnvelopeUniform(t *testing.T) {
 	}
 }
 
-// submitJob runs one experiment to completion and returns its JobView.
-func submitJob(t *testing.T, ts *httptest.Server, experiment string) JobView {
+// submitJob runs one experiment to completion and returns its JobSummary.
+func submitJob(t *testing.T, ts *httptest.Server, experiment string) JobSummary {
 	t.Helper()
 	code, body := postRuns(t, ts, fmt.Sprintf(`{"experiments":[%q],"quick":true}`, experiment))
 	if code != http.StatusOK {
 		t.Fatalf("POST %s: status %d: %s", experiment, code, body)
 	}
-	var v JobView
+	var v JobSummary
 	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
 	return v
+}
+
+// jobTasks fetches one page of a job's tasks via GET /v1/runs/{id}/tasks.
+func jobTasks(t *testing.T, ts *httptest.Server, id string) []TaskView {
+	t.Helper()
+	var page taskPage
+	if code := getJSON(t, ts, "/v1/runs/"+id+"/tasks", &page); code != http.StatusOK {
+		t.Fatalf("GET tasks for %s: status %d", id, code)
+	}
+	return page.Tasks
 }
 
 func TestListRunsPagination(t *testing.T) {
@@ -185,7 +195,7 @@ func TestListRunsPagination(t *testing.T) {
 	}
 }
 
-func ids(jobs []JobView) []string {
+func ids(jobs []JobSummary) []string {
 	out := make([]string, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.ID
@@ -193,8 +203,9 @@ func ids(jobs []JobView) []string {
 	return out
 }
 
-// The unversioned paths must answer exactly like /v1/, flagged with a
-// Deprecation header.
+// The unversioned paths must answer exactly like /v1/, flagged with
+// Deprecation and Sunset headers — and disappear entirely when the server is
+// built with NoUnversionedAliases.
 func TestDeprecatedAliases(t *testing.T) {
 	s := newTestServer(t, Options{})
 	ts := httptest.NewServer(s.Handler())
@@ -208,6 +219,9 @@ func TestDeprecatedAliases(t *testing.T) {
 		if hdr.Get("Deprecation") == "" {
 			t.Fatalf("GET %s: missing Deprecation header", path)
 		}
+		if hdr.Get("Sunset") != sunsetDate {
+			t.Fatalf("GET %s: Sunset = %q, want %q", path, hdr.Get("Sunset"), sunsetDate)
+		}
 	}
 	status, hdr, _ := do(t, "GET", ts.URL+"/v1/experiments", "")
 	if status != http.StatusOK {
@@ -216,22 +230,59 @@ func TestDeprecatedAliases(t *testing.T) {
 	if hdr.Get("Deprecation") != "" {
 		t.Fatal("/v1/ path carries a Deprecation header")
 	}
+	if hdr.Get("Sunset") != "" {
+		t.Fatal("/v1/ path carries a Sunset header")
+	}
 }
 
-// DELETE /v1/runs/{key} removes a stored result; a second delete (or a
-// delete of a never-stored key) is a 404 with the envelope.
+// NoUnversionedAliases removes the legacy aliases from the mux: unversioned
+// paths 404 while the /v1/ surface keeps working.
+func TestCompatUnversionedOff(t *testing.T) {
+	s := newTestServer(t, Options{NoUnversionedAliases: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/experiments", "/runs", "/healthz", "/readyz", "/statsz"} {
+		status, _, _ := do(t, "GET", ts.URL+path, "")
+		if status != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404 with aliases off", path, status)
+		}
+	}
+	for _, path := range []string{"/v1/experiments", "/v1/runs", "/v1/healthz"} {
+		status, _, _ := do(t, "GET", ts.URL+path, "")
+		if status != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, status)
+		}
+	}
+}
+
+// DELETE /v1/results/{key} removes a stored result; a second delete (or a
+// delete of a never-stored key) is a 404 with the envelope. The old key-on-runs
+// spelling still answers, flagged Deprecation + Sunset.
 func TestDeleteStoredRun(t *testing.T) {
 	s := newTestServer(t, Options{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	v := submitJob(t, ts, "table1/broadcast")
-	key := v.Tasks[0].Key
-	if status, _, _ := do(t, "GET", ts.URL+"/v1/runs/"+key, ""); status != http.StatusOK {
-		t.Fatalf("stored run fetch = %d, want 200", status)
+	tasks := jobTasks(t, ts, v.ID)
+	if len(tasks) == 0 {
+		t.Fatal("job has no tasks")
+	}
+	key := tasks[0].Key
+	if status, _, _ := do(t, "GET", ts.URL+"/v1/results/"+key, ""); status != http.StatusOK {
+		t.Fatalf("stored result fetch = %d, want 200", status)
+	}
+	// The deprecated key-on-runs path still serves the same bytes, flagged.
+	status, hdr, _ := do(t, "GET", ts.URL+"/v1/runs/"+key, "")
+	if status != http.StatusOK {
+		t.Fatalf("key-on-runs fetch = %d, want 200", status)
+	}
+	if hdr.Get("Deprecation") == "" || hdr.Get("Sunset") != sunsetDate {
+		t.Fatalf("key-on-runs fetch: Deprecation=%q Sunset=%q, want both set", hdr.Get("Deprecation"), hdr.Get("Sunset"))
 	}
 
-	status, _, body := do(t, "DELETE", ts.URL+"/v1/runs/"+key, "")
+	status, _, body := do(t, "DELETE", ts.URL+"/v1/results/"+key, "")
 	if status != http.StatusOK {
 		t.Fatalf("DELETE = %d: %s", status, body)
 	}
@@ -240,16 +291,82 @@ func TestDeleteStoredRun(t *testing.T) {
 		t.Fatalf("DELETE body = %s", body)
 	}
 
-	if status, _, _ := do(t, "GET", ts.URL+"/v1/runs/"+key, ""); status != http.StatusNotFound {
+	if status, _, _ := do(t, "GET", ts.URL+"/v1/results/"+key, ""); status != http.StatusNotFound {
 		t.Fatalf("fetch after delete = %d, want 404", status)
 	}
-	status, _, body = do(t, "DELETE", ts.URL+"/v1/runs/"+key, "")
+	status, _, body = do(t, "DELETE", ts.URL+"/v1/results/"+key, "")
 	if status != http.StatusNotFound {
 		t.Fatalf("second DELETE = %d, want 404", status)
 	}
 	var e ErrorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeNotFound {
 		t.Fatalf("second DELETE body = %s", body)
+	}
+	// A malformed key on the results resource is a 400, not a 404.
+	status, _, body = do(t, "GET", ts.URL+"/v1/results/not-a-key", "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad key fetch = %d (%s), want 400", status, body)
+	}
+}
+
+// GET /v1/runs/{id}/tasks pages through a job's task grid; the entries carry
+// keys and states but never inline result payloads.
+func TestRunTasksPagination(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postRuns(t, ts, `{"experiments":["table1/broadcast"],"seeds":[1,2,3,4,5],"quick":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST: status %d: %s", code, body)
+	}
+	var v JobSummary
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.TaskCount != 5 || v.TaskStates[StatusDone] != 5 {
+		t.Fatalf("summary = %+v, want 5 done tasks", v)
+	}
+
+	var p1 taskPage
+	if code := getJSON(t, ts, "/v1/runs/"+v.ID+"/tasks?limit=3", &p1); code != http.StatusOK {
+		t.Fatalf("page 1 status %d", code)
+	}
+	if len(p1.Tasks) != 3 || p1.Total != 5 || p1.NextCursor == "" {
+		t.Fatalf("page 1 = %d tasks total=%d next=%q", len(p1.Tasks), p1.Total, p1.NextCursor)
+	}
+	for _, tv := range p1.Tasks {
+		if len(tv.Result) != 0 {
+			t.Fatalf("task %d inlines result bytes on the tasks page", tv.Seed)
+		}
+		if tv.Key == "" {
+			t.Fatalf("task %d has no key", tv.Seed)
+		}
+	}
+	var p2 taskPage
+	if code := getJSON(t, ts, "/v1/runs/"+v.ID+"/tasks?limit=3&cursor="+p1.NextCursor, &p2); code != http.StatusOK {
+		t.Fatalf("page 2 status %d", code)
+	}
+	if len(p2.Tasks) != 2 || p2.NextCursor != "" {
+		t.Fatalf("page 2 = %d tasks next=%q, want final 2", len(p2.Tasks), p2.NextCursor)
+	}
+	if p1.Tasks[0].Seed == p2.Tasks[0].Seed {
+		t.Fatal("pages overlap")
+	}
+	// Bad cursor and bad limit answer 400 with the envelope.
+	for _, path := range []string{
+		"/v1/runs/" + v.ID + "/tasks?cursor=zebra",
+		"/v1/runs/" + v.ID + "/tasks?cursor=99",
+		"/v1/runs/" + v.ID + "/tasks?limit=0",
+	} {
+		status, _, body := do(t, "GET", ts.URL+path, "")
+		if status != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d (%s), want 400", path, status, body)
+		}
+	}
+	// Unknown job is a 404.
+	if status, _, _ := do(t, "GET", ts.URL+"/v1/runs/job-999999/tasks", ""); status != http.StatusNotFound {
+		t.Fatalf("unknown job tasks = %d, want 404", status)
 	}
 }
 
