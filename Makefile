@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-cluster stream-chaos bench bench-baseline bench-scale bench-tables bench-smoke experiments verify export serve fuzz fuzz-smoke clean
+.PHONY: all build vet test race chaos chaos-cluster stream-chaos bench bench-baseline bench-scale bench-tables bench-smoke dag-verify experiments verify export serve fuzz fuzz-smoke clean
 
 all: build test
 
@@ -76,6 +76,15 @@ bench-tables:
 # benchmark, proving the bench harness compiles and runs (CI runs this).
 bench-smoke:
 	$(GO) test -run '^$$' -bench=Superstep -benchtime=1x -benchmem ./...
+
+# DAG lowering conformance (CI runs this): the work IR and dagsched unit
+# suites, the oracle's precedence-invariant tests, and a 200-seed
+# precedence replay of the reworked dag family — all under the race
+# detector, zero violations required.
+dag-verify:
+	$(GO) test -race -count=1 ./internal/work/...
+	$(GO) test -race -count=1 -run 'Precedence|DAG|Dagsched|CheckIR' ./internal/oracle
+	$(GO) run -race ./cmd/bandsim fuzz -seeds 200 -family dag
 
 # Regenerate every paper table (EXPERIMENTS.md quotes these).
 experiments:

@@ -7,6 +7,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"parbw/internal/harness"
 	"parbw/internal/oracle"
 	"parbw/internal/shrink"
 	"parbw/internal/workgen"
@@ -73,7 +75,7 @@ and shrinks failures with ddmin. Same flags => byte-identical output.`)
 	if *family != "all" {
 		f, err := workgen.ParseFamily(*family)
 		if err != nil {
-			return err
+			return errors.New(unknownFamilyMessage(*family))
 		}
 		fams = []workgen.Family{f}
 	}
@@ -161,6 +163,36 @@ and shrinks failures with ddmin. Same flags => byte-identical output.`)
 		return fmt.Errorf("fuzz: %d of %d seeds violated invariants", len(failures), *seeds)
 	}
 	return nil
+}
+
+// unknownFamilyMessage formats the error for a mistyped -family value,
+// reusing the harness's did-you-mean matcher over the family names plus the
+// "all" sentinel — the same shape unknownIDMessage gives mistyped
+// experiment ids.
+func unknownFamilyMessage(name string) string {
+	candidates := []string{"all"}
+	for _, f := range workgen.Families() {
+		candidates = append(candidates, string(f))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzz: unknown family %q", name)
+	if sug := harness.SuggestFrom(name, candidates); len(sug) > 0 {
+		b.WriteString("\ndid you mean:")
+		for _, s := range sug {
+			fmt.Fprintf(&b, "\n  %s", s)
+		}
+	} else {
+		fmt.Fprintf(&b, " (want %s, or all)", strings.Join(familyNames(), ", "))
+	}
+	return b.String()
+}
+
+func familyNames() []string {
+	out := make([]string, 0, len(workgen.Families()))
+	for _, f := range workgen.Families() {
+		out = append(out, string(f))
+	}
+	return out
 }
 
 // sameViolationNames reports whether two violation-name lists are equal —

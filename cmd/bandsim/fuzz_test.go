@@ -121,6 +121,36 @@ func TestFuzzRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// A mistyped -family gets the same did-you-mean shape mistyped experiment
+// ids get, via the shared harness.SuggestFrom matcher.
+func TestFuzzUnknownFamilySuggests(t *testing.T) {
+	var buf bytes.Buffer
+	err := runFuzz([]string{"-family", "ball", "-seeds", "1"}, &buf)
+	if err == nil {
+		t.Fatal("near-miss family accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown family "ball"`) {
+		t.Fatalf("message missing family name: %q", msg)
+	}
+	if !strings.Contains(msg, "did you mean") || !strings.Contains(msg, "balls") {
+		t.Fatalf("message missing suggestion: %q", msg)
+	}
+
+	// Nonsense gets the full family list instead of bogus suggestions.
+	err = runFuzz([]string{"-family", "zzz", "-seeds", "1"}, &buf)
+	if err == nil {
+		t.Fatal("nonsense family accepted")
+	}
+	msg = err.Error()
+	if strings.Contains(msg, "did you mean") {
+		t.Fatalf("bogus suggestions for nonsense family: %q", msg)
+	}
+	if !strings.Contains(msg, "hrel, dag, balls") {
+		t.Fatalf("fallback family list missing: %q", msg)
+	}
+}
+
 // The CLI's -json error envelope must be byte-identical to the v1 HTTP
 // API's response for the same mistake — same codes, same messages, same
 // did-you-mean suggestion payloads.

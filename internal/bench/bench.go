@@ -31,6 +31,7 @@ import (
 	"parbw/internal/pram"
 	"parbw/internal/qsm"
 	"parbw/internal/sched"
+	"parbw/internal/work/dagsched"
 	"parbw/internal/xrand"
 )
 
@@ -198,6 +199,42 @@ func schedStaticOnce() (total model.Time, n int) {
 	return total, n
 }
 
+// dagLowerOnce runs the DAG lowering pipeline end to end at a fixed shape
+// (8 levels of 64 nodes, 2 dependencies per node on 64 processors): build
+// the layered DAG, band it into levels, place greedily, lower to the work
+// IR with batching, and replay the schedule on an exponential-penalty
+// BSP(m). Fresh deterministic RNG per call, so the fingerprint is stable.
+func dagLowerOnce() (total model.Time, sends, flits int) {
+	const p, mm, l, width, depth = 64, 16, 4, 64, 8
+	rng := xrand.Derive(1, "bench/dag_lower")
+	d := &dagsched.DAG{Nodes: make([]dagsched.Node, width*depth)}
+	for i := range d.Nodes {
+		d.Nodes[i].Work = int64(1 + rng.Intn(3))
+	}
+	for lv := 1; lv < depth; lv++ {
+		for j := 0; j < width; j++ {
+			v := lv*width + j
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				d.Edges = append(d.Edges, dagsched.Edge{
+					U: (lv-1)*width + rng.Intn(width), V: v, Len: 1 + rng.Intn(4),
+				})
+			}
+		}
+	}
+	levels, err := d.Levels()
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	place := dagsched.LevelSchedule(d, levels, p)
+	ir, err := dagsched.Lower(d, levels, place, p, mm, l, dagsched.Options{Batch: true})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	m := bsp.New(bsp.Config{P: p, Cost: model.BSPm(mm, l), Seed: 1, Workers: 1})
+	sched.ReplayAll(m, ir)
+	return m.Time(), ir.TotalSends, ir.TotalFlits
+}
+
 // table1Case wraps one harness experiment (quick preset, seed 1) as a suite
 // case; the fingerprint is the resolved canonical parameter assignment plus
 // the experiment's aggregate model time, so a schema-default drift changes
@@ -309,6 +346,21 @@ func Suite() []Case {
 			Model: func() string {
 				t, n := schedStaticOnce()
 				return fmt.Sprintf("time=%g n=%d", t, n)
+			},
+		},
+		{
+			Name: "sched/dag_lower",
+			Bench: func(b *testing.B) {
+				dagLowerOnce() // warm
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dagLowerOnce()
+				}
+			},
+			Model: func() string {
+				t, sends, flits := dagLowerOnce()
+				return fmt.Sprintf("time=%g sends=%d flits=%d", t, sends, flits)
 			},
 		},
 		table1Case("table1/onetoall"),

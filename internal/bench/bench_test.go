@@ -46,7 +46,7 @@ func TestDryRunDeterministic(t *testing.T) {
 func TestSuiteCases(t *testing.T) {
 	want := []string{
 		"superstep/bsp", "superstep/qsm", "superstep/pram",
-		"sched/static",
+		"sched/static", "sched/dag_lower",
 		"table1/onetoall", "table1/broadcast", "table1/parity",
 		"superstep/bsp/p10k", "superstep/bsp/p100k", "superstep/bsp/p1m",
 	}

@@ -13,6 +13,7 @@ import (
 	"parbw/internal/problems"
 	"parbw/internal/sched"
 	"parbw/internal/tablefmt"
+	"parbw/internal/work"
 	"parbw/internal/xrand"
 )
 
@@ -459,7 +460,7 @@ func init() {
 		Title:  "Asynchronous BSP(m): flow control replaces explicit scheduling",
 		Source: "Section 1 remark (\"many of our results extend to more asynchronous models\")",
 		Params: []ParamSpec{
-			IntParam("p", 0, "0 = built-in size (128 full, 32 quick)").Range(0, 1<<20),
+			IntParam("p", 0, "0 = built-in size (128 full, 32 quick)").Range(0, work.MaxP),
 			IntParam("m", 16, "aggregate bandwidth of the BSP(m)").Range(1, 1<<16),
 			IntParam("l", 4, "latency/periodicity floor L").Range(0, 1<<16),
 			IntParam("per", 0, "0 = built-in per-processor load (32 full, 8 quick)").Range(0, 1<<16),
@@ -477,20 +478,22 @@ func runAsync(rec *Recorder) {
 	n := p * per
 
 	// 1. Bulk-synchronous BSP(m) with exponential penalty, naive injection.
-	plan := make(sched.Plan, p)
-	for i := range plan {
+	b := work.NewBuilder(p, mm, l).Family("async/burst").Seed(cfg.Seed)
+	b.Step()
+	for i := 0; i < p; i++ {
 		for k := 0; k < per; k++ {
-			plan[i] = append(plan[i], bsp.Msg{Dst: int32((i + 1 + k) % p)})
+			b.Send(i, (i+1+k)%p, 1)
 		}
 	}
+	ir := b.MustIR()
 	mb := newBSPmExp(p, mm, l, cfg.Seed)
-	rNaive := sched.NaiveSend(mb, plan)
+	rNaive := sched.NaiveSendIR(mb, ir, 0)
 	opt := rNaive.OptimalOffline(mm, l)
 	t.Row("bulk-sync naive (f^u)", rNaive.Time, rNaive.Time/opt)
 
 	// 2. Bulk-synchronous BSP(m) with Unbalanced-Send.
 	ms := newBSPmExp(p, mm, l, cfg.Seed)
-	rSched := sched.UnbalancedSend(ms, plan, sched.Options{Eps: 0.25, KnownN: n})
+	rSched := sched.UnbalancedSendIR(ms, ir, 0, sched.Options{Eps: 0.25, KnownN: n})
 	t.Row("bulk-sync Unbalanced-Send", rSched.Time, rSched.Time/opt)
 
 	// 3. Asynchronous machine with token-bucket backpressure, naive

@@ -190,12 +190,14 @@ func Suggest(id string) []string {
 	for _, e := range All() {
 		ids = append(ids, e.ID)
 	}
-	return suggestFrom(id, ids)
+	return SuggestFrom(id, ids)
 }
 
-// suggestFrom is the scoring core behind Suggest, reused for parameter-name
-// suggestions: up to five candidates most resembling q, best first.
-func suggestFrom(q string, candidates []string) []string {
+// SuggestFrom is the scoring core behind Suggest, shared by every
+// did-you-mean surface in the tree (experiment ids, parameter names, the
+// fuzz command's workload families): up to five candidates most resembling
+// q, best first.
+func SuggestFrom(q string, candidates []string) []string {
 	q = strings.ToLower(strings.TrimSpace(q))
 	if q == "" {
 		return nil

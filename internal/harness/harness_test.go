@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation/sort", "sched/template", "validate/channels",
 		"ablation/combinetree", "ablation/wraparound", "async/backpressure",
 		"ablation/penalty", "ablation/eps", "ablation/listrank",
+		"dag/lower", "dag/comm",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

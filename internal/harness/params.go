@@ -168,7 +168,7 @@ func (e Experiment) Resolve(raw map[string]string) (Resolved, error) {
 			return nil, &UnknownParamError{
 				Experiment:  e.ID,
 				Name:        name,
-				Suggestions: suggestFrom(name, declared),
+				Suggestions: SuggestFrom(name, declared),
 			}
 		}
 		canon, err := canonicalize(spec, raw[name])

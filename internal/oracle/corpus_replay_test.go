@@ -8,6 +8,7 @@ import (
 
 	"parbw/internal/sched"
 	"parbw/internal/shrink"
+	"parbw/internal/work"
 	"parbw/internal/workgen"
 )
 
@@ -71,6 +72,21 @@ func corpusEntries() map[string]*Entry {
 		Violations: Names(Check(bad)),
 		Workload:   bad,
 	}
+
+	// A scheduled DAG workload whose lowering dropped a dependency message:
+	// the precedence layer demands a send 0 → 1 in superstep 0, but the
+	// schedule carries none — the workload/precedence invariant's shape.
+	missed := &workgen.Workload{
+		Version: workgen.Version, Family: workgen.FamilyDAG, Seed: 0,
+		P: 2, M: 1, L: 1,
+		Steps: []workgen.Superstep{{Sends: []sched.SlotSend{}}},
+		Prec:  &work.Prec{Proc: []int{0, 1}, Step: []int{0, 1}, Edges: [][2]int{{0, 1}}},
+	}
+	entries["missed-dependency.json"] = &Entry{
+		Note:       "lowered DAG schedule missing a cross-processor dependency message",
+		Violations: Names(Check(missed)),
+		Workload:   missed,
+	}
 	return entries
 }
 
@@ -133,6 +149,35 @@ func TestCorpusReplay(t *testing.T) {
 		}
 		if err := Replay(e); err != nil {
 			t.Errorf("%s: %v", fi.Name(), err)
+		}
+
+		// The IR converters must be lossless on every corpus entry —
+		// including invalid and lying-totals ones: Workload → IR → Workload
+		// re-encodes byte-identically, and the oracle reaches the same
+		// verdict through either representation.
+		back := workgen.FromIR(e.Workload.IR())
+		b1, err := e.Workload.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := back.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Errorf("%s: Workload -> IR -> Workload changed bytes:\n%s%s", fi.Name(), b1, b2)
+		}
+		irNames := Names(CheckIR(e.Workload.IR()))
+		wNames := Names(Check(e.Workload))
+		if len(irNames) != len(wNames) {
+			t.Errorf("%s: CheckIR names %v != Check names %v", fi.Name(), irNames, wNames)
+		} else {
+			for i := range wNames {
+				if irNames[i] != wNames[i] {
+					t.Errorf("%s: CheckIR names %v != Check names %v", fi.Name(), irNames, wNames)
+					break
+				}
+			}
 		}
 		replayed++
 	}

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"parbw/internal/work"
+	"parbw/internal/work/dagsched"
 	"parbw/internal/workgen"
 )
 
@@ -90,6 +92,110 @@ func TestBreakForTestHook(t *testing.T) {
 	names := Names(vs)
 	if len(names) != 1 || names[0] != "workload/conserve" {
 		t.Fatalf("broken oracle reported %v, want exactly workload/conserve", names)
+	}
+}
+
+// dagWorkload generates a dag-family workload that actually carries a
+// precedence layer and at least one cross-processor send.
+func dagWorkload(t *testing.T) *workgen.Workload {
+	t.Helper()
+	for seed := uint64(0); seed < 50; seed++ {
+		w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyDAG, Seed: seed, P: 4, Steps: 3})
+		if w.Prec != nil && w.TotalSends > 0 {
+			return w
+		}
+	}
+	t.Fatal("no dag seed under 50 produced cross-processor traffic")
+	return nil
+}
+
+func TestPrecedenceInvariantPassesOnLoweredDAGs(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		w := workgen.Generate(workgen.GenConfig{Family: workgen.FamilyDAG, Seed: seed})
+		if w.Prec == nil {
+			t.Fatalf("seed %d: dag workload carries no precedence layer", seed)
+		}
+		if vs := Check(w); len(vs) != 0 {
+			t.Fatalf("seed %d: violations on lowered DAG: %+v", seed, vs)
+		}
+	}
+}
+
+func TestPrecedenceInvariantCatchesDroppedSend(t *testing.T) {
+	w := dagWorkload(t)
+	// Drop every send of the first superstep that carries one: some
+	// dependency edge loses its message.
+	for si := range w.Steps {
+		if len(w.Steps[si].Sends) > 0 {
+			w.Steps[si].Sends = nil
+			break
+		}
+	}
+	w.TotalSends, w.TotalFlits = w.CountSends() // keep conserve quiet
+	names := Names(Check(w))
+	found := false
+	for _, n := range names {
+		if n == "workload/precedence" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped dependency message not caught: %v", names)
+	}
+}
+
+func TestPrecedenceInvariantCatchesMisphasedSend(t *testing.T) {
+	// A two-node chain across processors where the message is sent in the
+	// superstep AFTER the consumer computes — wrong phase, must be flagged.
+	ir := &work.IR{Version: work.Version, Family: "dag", P: 2, M: 1, L: 1,
+		Steps: []work.Step{
+			{}, // the edge's window [0, 1) — empty
+			{Sends: []work.Send{{Proc: 0, Slot: 0, Dst: 1}}}, // too late
+		},
+		Prec: &work.Prec{Proc: []int{0, 1}, Step: []int{0, 1}, Edges: [][2]int{{0, 1}}},
+	}
+	ir.SealTotals()
+	names := Names(CheckIR(ir))
+	if len(names) != 1 || names[0] != "workload/precedence" {
+		t.Fatalf("mis-phased dependency message reported %v, want exactly workload/precedence", names)
+	}
+}
+
+func TestCheckIRAcceptsDagschedLowerings(t *testing.T) {
+	// Both placement policies, batched and not, must satisfy every
+	// invariant — Lower's conformance contract.
+	d := &dagsched.DAG{
+		Nodes: make([]dagsched.Node, 12),
+		Edges: []dagsched.Edge{
+			{U: 0, V: 4, Len: 2}, {U: 1, V: 4}, {U: 1, V: 5}, {U: 2, V: 6, Len: 3},
+			{U: 3, V: 7}, {U: 4, V: 8, Len: 2}, {U: 5, V: 9}, {U: 6, V: 10},
+			{U: 7, V: 11}, {U: 4, V: 9}, {U: 5, V: 8},
+		},
+	}
+	for i := range d.Nodes {
+		d.Nodes[i].Work = int64(1 + i%3)
+	}
+	levels, err := d.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		place dagsched.Placement
+		batch bool
+	}{
+		{"greedy", dagsched.LevelSchedule(d, levels, 4), false},
+		{"greedy-batched", dagsched.LevelSchedule(d, levels, 4), true},
+		{"comm-aware", dagsched.CommAwareSchedule(d, levels, 4, 2), false},
+		{"comm-aware-batched", dagsched.CommAwareSchedule(d, levels, 4, 2), true},
+	} {
+		ir, err := dagsched.Lower(d, levels, tc.place, 4, 2, 1, dagsched.Options{Batch: tc.batch})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if vs := CheckIR(ir); len(vs) != 0 {
+			t.Fatalf("%s: violations: %+v", tc.name, vs)
+		}
 	}
 }
 

@@ -84,6 +84,7 @@ func Minimize(w *workgen.Workload, failing func(*workgen.Workload) bool, opt Opt
 		return res
 	}
 
+	cur = m.shrinkPrec(cur)
 	cur = m.shrinkSupersteps(cur)
 	cur = m.shrinkSends(cur)
 	cur = m.shrinkSlots(cur)
@@ -176,6 +177,24 @@ func ddmin[T any](items []T, test func([]T) bool) []T {
 		items = nil
 	}
 	return items
+}
+
+// shrinkPrec tries dropping the precedence layer outright. Run first: with
+// the layer present, structural edits (dropping supersteps or sends) tend
+// to break node-step ranges or edge coverage and get rejected wholesale, so
+// a failure that does not need the layer shrinks far better without it. A
+// failure that does need it (a precedence violation) keeps it, and the
+// structural phases then shrink only what the layer's validity allows.
+func (m *minimizer) shrinkPrec(w *workgen.Workload) *workgen.Workload {
+	if w.Prec == nil {
+		return w
+	}
+	c := clone(w)
+	c.Prec = nil
+	if m.check(c) {
+		return c
+	}
+	return w
 }
 
 // shrinkSupersteps drops whole supersteps.

@@ -1,0 +1,120 @@
+package workgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// Generate is defined as FromIR(GenerateIR(cfg)); the IR and corpus forms
+// of every family must therefore agree field for field, and the converters
+// must be lossless both ways.
+func TestGenerateMatchesGenerateIR(t *testing.T) {
+	for _, fam := range Families() {
+		for seed := uint64(0); seed < 50; seed++ {
+			cfg := GenConfig{Family: fam, Seed: seed}
+			w := Generate(cfg)
+			ir := GenerateIR(cfg)
+			if err := ir.Validate(); err != nil {
+				t.Fatalf("%s seed %d: GenerateIR invalid: %v", fam, seed, err)
+			}
+			w2 := FromIR(ir)
+			b1, err := w.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := w2.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("%s seed %d: Generate != FromIR(GenerateIR):\n%s%s", fam, seed, b1, b2)
+			}
+		}
+	}
+}
+
+func TestWorkloadIRRoundTripLossless(t *testing.T) {
+	for _, fam := range Families() {
+		for seed := uint64(0); seed < 50; seed++ {
+			w := Generate(GenConfig{Family: fam, Seed: seed})
+			back := FromIR(w.IR())
+			b1, err := w.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := back.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("%s seed %d: Workload -> IR -> Workload changed bytes:\n%s%s", fam, seed, b1, b2)
+			}
+		}
+	}
+}
+
+func TestRoundTripPreservesLyingTotals(t *testing.T) {
+	w := Generate(GenConfig{Family: FamilyBalls, Seed: 4})
+	w.TotalFlits += 7
+	w.TotalSends -= 2
+	back := FromIR(w.IR())
+	if back.TotalFlits != w.TotalFlits || back.TotalSends != w.TotalSends {
+		t.Fatalf("declared totals not carried verbatim: %d/%d != %d/%d",
+			back.TotalSends, back.TotalFlits, w.TotalSends, w.TotalFlits)
+	}
+}
+
+func TestDAGFamilyCarriesPrecedence(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		w := Generate(GenConfig{Family: FamilyDAG, Seed: seed})
+		if w.Prec == nil {
+			t.Fatalf("seed %d: dag workload has no precedence layer", seed)
+		}
+		if w.Prec.Nodes() == 0 || len(w.Prec.Edges) == 0 {
+			t.Fatalf("seed %d: degenerate precedence layer: %d nodes, %d edges",
+				seed, w.Prec.Nodes(), len(w.Prec.Edges))
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The layer survives the corpus encoding.
+		b, err := w.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Prec == nil || got.Prec.Nodes() != w.Prec.Nodes() {
+			t.Fatalf("seed %d: precedence layer lost in encode/decode", seed)
+		}
+	}
+}
+
+func TestValidateRejectsBadPrec(t *testing.T) {
+	w := Generate(GenConfig{Family: FamilyDAG, Seed: 1})
+	if w.Prec == nil {
+		t.Skip("seed produced no prec")
+	}
+	w.Prec.Step[0] = len(w.Steps) + 5
+	if err := w.Validate(); err == nil {
+		t.Fatal("out-of-range prec step accepted")
+	}
+}
+
+func TestHRelAndBallsCarryNoPrec(t *testing.T) {
+	for _, fam := range []Family{FamilyHRel, FamilyBalls} {
+		w := Generate(GenConfig{Family: fam, Seed: 3})
+		if w.Prec != nil {
+			t.Fatalf("%s: unexpected precedence layer", fam)
+		}
+		b, err := w.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) == "" || strings.Contains(string(b), `"prec"`) {
+			t.Fatalf("%s: prec field leaked into encoding", fam)
+		}
+	}
+}

@@ -21,6 +21,8 @@ import (
 
 	"parbw/internal/bsp"
 	"parbw/internal/sched"
+	"parbw/internal/work"
+	"parbw/internal/work/dagsched"
 	"parbw/internal/xrand"
 )
 
@@ -36,10 +38,11 @@ const (
 	// bounded number of messages with uniform destinations, slots packed
 	// per-processor with random gaps — the paper's basic routing workload.
 	FamilyHRel Family = "hrel"
-	// FamilyDAG emits DAG-shaped dependency traffic in the style of BSP DAG
-	// scheduling: a random layered DAG over the processors; each superstep
-	// carries the edges between consecutive layers, so message (u → v)
-	// exists only if v depends on u.
+	// FamilyDAG emits a scheduled computational DAG in the style of BSP DAG
+	// scheduling: a random layered DAG of work-carrying nodes is placed onto
+	// the processors and lowered to supersteps by work/dagsched, so every
+	// message realizes a cross-processor dependency edge and the workload
+	// carries the full precedence layer for the oracle to replay.
 	FamilyDAG Family = "dag"
 	// FamilyBalls emits randomized balls-into-bins injection à la
 	// Lenzen–Wattenhofer: senders are uniform, destinations are drawn from a
@@ -62,14 +65,15 @@ func ParseFamily(s string) (Family, error) {
 }
 
 // Hard resource caps enforced by Validate so that adversarial or corrupted
-// corpus input cannot allocate an unbounded machine. They bound everything
-// machine construction scales with.
+// corpus input cannot allocate an unbounded machine. They alias the work
+// IR's caps — the corpus format is a projection of the IR, so the two
+// formats bound the same machine sizes.
 const (
-	MaxP          = 1 << 10
-	MaxSteps      = 1 << 6
-	MaxSendsTotal = 1 << 16
-	MaxSlot       = 1 << 20
-	MaxMsgLen     = 1 << 8
+	MaxP          = work.MaxP
+	MaxSteps      = work.MaxSteps
+	MaxSendsTotal = work.MaxSendsTotal
+	MaxSlot       = work.MaxSlot
+	MaxMsgLen     = work.MaxMsgLen
 )
 
 // GenConfig sizes a generated workload. The zero value of every field means
@@ -111,6 +115,13 @@ type Workload struct {
 	M       int         `json:"m"`
 	L       int         `json:"l"`
 	Steps   []Superstep `json:"steps"`
+
+	// Prec, when present, is the precedence layer of a scheduled DAG
+	// workload — the computational DAG the supersteps were lowered from,
+	// in the work IR's representation. The oracle's precedence invariant
+	// replays it against the sends. omitempty keeps prec-free workloads
+	// (hrel, balls, all pre-IR corpus entries) byte-identical.
+	Prec *work.Prec `json:"prec,omitempty"`
 
 	// Declared totals, written by the generator. The oracles recompute both
 	// from the sends and flag any disagreement, so corruption anywhere in
@@ -187,7 +198,61 @@ func (w *Workload) Validate() error {
 			return fmt.Errorf("workgen: superstep %d: %w", si, err)
 		}
 	}
+	if err := work.CheckPrec(w.P, len(w.Steps), w.Prec); err != nil {
+		return fmt.Errorf("workgen: %w", err)
+	}
 	return nil
+}
+
+// IR lifts the workload into the canonical work IR. The conversion is
+// lossless — every send field, the precedence layer, and the declared
+// totals (verbatim, even when they lie) carry over — so FromIR(w.IR())
+// re-encodes byte-identically to w.
+func (w *Workload) IR() *work.IR {
+	ir := &work.IR{
+		Version: work.Version,
+		Family:  string(w.Family),
+		Seed:    w.Seed,
+		P:       w.P, M: w.M, L: w.L,
+		Steps:      make([]work.Step, len(w.Steps)),
+		Prec:       w.Prec.Clone(),
+		TotalSends: w.TotalSends,
+		TotalFlits: w.TotalFlits,
+	}
+	for si, step := range w.Steps {
+		sends := make([]work.Send, len(step.Sends))
+		for i, s := range step.Sends {
+			sends[i] = work.Send{Proc: s.Proc, Slot: s.Slot, Dst: s.Dst, Len: s.Len}
+		}
+		ir.Steps[si].Sends = sends
+	}
+	return ir
+}
+
+// FromIR projects an IR into the corpus Workload format. Compute-work
+// vectors and message payloads (Tag/A/B/C) do not exist in the corpus
+// format and are dropped; sends, precedence layer, and declared totals
+// carry over verbatim, so an IR that came from a Workload round-trips
+// byte-identically.
+func FromIR(ir *work.IR) *Workload {
+	w := &Workload{
+		Version: Version,
+		Family:  Family(ir.Family),
+		Seed:    ir.Seed,
+		P:       ir.P, M: ir.M, L: ir.L,
+		Steps:      make([]Superstep, len(ir.Steps)),
+		Prec:       ir.Prec.Clone(),
+		TotalSends: ir.TotalSends,
+		TotalFlits: ir.TotalFlits,
+	}
+	for si := range ir.Steps {
+		sends := make([]sched.SlotSend, len(ir.Steps[si].Sends))
+		for i, s := range ir.Steps[si].Sends {
+			sends[i] = sched.SlotSend{Proc: s.Proc, Slot: s.Slot, Dst: s.Dst, Len: s.Len}
+		}
+		w.Steps[si].Sends = sends
+	}
+	return w
 }
 
 // CountSends returns the actual (sends, flits) totals recomputed from the
@@ -259,12 +324,13 @@ func orDraw(pinned int, rng *xrand.Source, lo, hi int) int {
 	return lo + rng.Intn(hi-lo+1)
 }
 
-// Generate emits the workload for cfg. The result is deterministic in
-// (cfg.Family, cfg.Seed, pinned fields): same inputs, same bytes from
-// Encode. Generate panics only on an invalid GenConfig (unknown family,
-// negative pins); everything drawn is in range by construction, and the
-// returned workload passes Validate unless cfg.Adversarial is set.
-func Generate(cfg GenConfig) *Workload {
+// GenerateIR emits the canonical-IR form of the workload for cfg — the
+// family frontends build IR directly; the corpus Workload is a projection
+// of it (see Generate). Deterministic in (cfg.Family, cfg.Seed, pinned
+// fields). Panics only on an invalid GenConfig (unknown family, negative
+// pins); everything drawn is in range by construction, and the returned IR
+// passes work.IR.Validate.
+func GenerateIR(cfg GenConfig) *work.IR {
 	if _, err := ParseFamily(string(cfg.Family)); err != nil {
 		panic(err)
 	}
@@ -275,13 +341,13 @@ func Generate(cfg GenConfig) *Workload {
 	}
 	st := deriveStreams(cfg.Family, cfg.Seed)
 
-	w := &Workload{Version: Version, Family: cfg.Family, Seed: cfg.Seed}
-	w.P = orDraw(cfg.P, st.shape, 2, 64)
-	w.M = orDraw(cfg.M, st.shape, 1, w.P)
-	if w.M > w.P {
-		w.M = w.P
+	ir := &work.IR{Version: work.Version, Family: string(cfg.Family), Seed: cfg.Seed}
+	ir.P = orDraw(cfg.P, st.shape, 2, 64)
+	ir.M = orDraw(cfg.M, st.shape, 1, ir.P)
+	if ir.M > ir.P {
+		ir.M = ir.P
 	}
-	w.L = orDraw(cfg.L, st.shape, 1, 8)
+	ir.L = orDraw(cfg.L, st.shape, 1, 8)
 	steps := orDraw(cfg.Steps, st.shape, 1, 6)
 	maxLen := orDraw(cfg.MaxLen, st.shape, 1, 4)
 	load := cfg.Load
@@ -295,14 +361,24 @@ func Generate(cfg GenConfig) *Workload {
 
 	switch cfg.Family {
 	case FamilyHRel:
-		genHRel(w, st, steps, maxLen, load)
+		genHRel(ir, st, steps, maxLen, load)
 	case FamilyDAG:
-		genDAG(w, st, steps, maxLen)
+		genDAG(ir, st, steps, maxLen)
 	case FamilyBalls:
-		genBalls(w, st, steps, load, skew)
+		genBalls(ir, st, steps, load, skew)
 	}
 
-	w.TotalSends, w.TotalFlits = w.CountSends()
+	ir.SealTotals()
+	return ir
+}
+
+// Generate emits the corpus-format workload for cfg: GenerateIR projected
+// through FromIR. The result is deterministic in (cfg.Family, cfg.Seed,
+// pinned fields): same inputs, same bytes from Encode. The returned
+// workload passes Validate unless cfg.Adversarial is set, in which case it
+// is corrupted in one seed-determined way.
+func Generate(cfg GenConfig) *Workload {
+	w := FromIR(GenerateIR(cfg))
 	if cfg.Adversarial {
 		corrupt(w, xrand.Derive(cfg.Seed, "workgen/"+string(cfg.Family)+"/corrupt"))
 	}
@@ -337,13 +413,13 @@ func (sp *slotPacker) reset() {
 // the drawn shape is.
 func perStepBudget(steps int) int { return MaxSendsTotal / steps }
 
-func genHRel(w *Workload, st streams, steps, maxLen int, load float64) {
-	pack := newPacker(w.P, st.slots)
+func genHRel(ir *work.IR, st streams, steps, maxLen int, load float64) {
+	pack := newPacker(ir.P, st.slots)
 	budget := perStepBudget(steps)
 	for t := 0; t < steps; t++ {
 		pack.reset()
-		var sends []sched.SlotSend
-		for i := 0; i < w.P && len(sends) < budget; i++ {
+		var sends []work.Send
+		for i := 0; i < ir.P && len(sends) < budget; i++ {
 			// Per-processor send count: geometric-ish around the load.
 			k := int(load)
 			if st.inject.Float64() < load-float64(k) {
@@ -351,83 +427,85 @@ func genHRel(w *Workload, st streams, steps, maxLen int, load float64) {
 			}
 			for j := 0; j < k && len(sends) < budget; j++ {
 				l := 1 + st.inject.Intn(maxLen)
-				s := sched.SlotSend{
+				s := work.Send{
 					Proc: i,
-					Dst:  st.edges.Intn(w.P),
+					Dst:  st.edges.Intn(ir.P),
 					Len:  l,
 				}
 				s.Slot = pack.place(i, s.Flits())
 				sends = append(sends, s)
 			}
 		}
-		w.Steps = append(w.Steps, Superstep{Sends: sends})
+		ir.Steps = append(ir.Steps, work.Step{Sends: sends})
 	}
 }
 
-func genDAG(w *Workload, st streams, steps, maxLen int) {
-	// Layer the processors: a random assignment of procs to steps+1 layers;
-	// superstep t carries edges from layer t to layer t+1, each node
-	// depending on 1..3 predecessors. This is the DAG-scheduling shape: all
-	// traffic respects the dependency order, and a superstep may be empty
-	// if a layer has no nodes.
-	layers := make([][]int, steps+1)
-	for i := 0; i < w.P; i++ {
-		l := st.shape.Intn(steps + 1)
-		layers[l] = append(layers[l], i)
+func genDAG(ir *work.IR, st streams, steps, maxLen int) {
+	// A real layered computational DAG, scheduled: steps+1 levels of drawn
+	// width (nodes are units of work, not processors), each non-source node
+	// depending on 1..3 uniform predecessors in the previous level with a
+	// drawn edge payload. The DAG is placed by dagsched's greedy level
+	// scheduler and lowered to supersteps, so every message realizes a
+	// cross-processor dependency edge and the precedence layer rides along
+	// for the oracle to replay. Widths come from the shape stream, node
+	// work and edge lengths from the inject stream, dependency draws from
+	// the edges stream — the per-axis stream discipline of the package.
+	nLevels := steps + 1
+	if nLevels > MaxSteps {
+		nLevels = MaxSteps
 	}
-	pack := newPacker(w.P, st.slots)
-	budget := perStepBudget(steps)
-	for t := 0; t < steps; t++ {
-		pack.reset()
-		var sends []sched.SlotSend
-		for _, v := range layers[t+1] {
-			if len(layers[t]) == 0 {
-				break
-			}
+	d := &dagsched.DAG{}
+	levelNodes := make([][]int, nLevels)
+	for lv := 0; lv < nLevels && len(d.Nodes) < MaxSendsTotal; lv++ {
+		width := 1 + st.shape.Intn(ir.P)
+		for k := 0; k < width && len(d.Nodes) < MaxSendsTotal; k++ {
+			levelNodes[lv] = append(levelNodes[lv], len(d.Nodes))
+			d.Nodes = append(d.Nodes, dagsched.Node{Work: int64(1 + st.inject.Intn(4))})
+		}
+	}
+	for lv := 1; lv < nLevels; lv++ {
+		prev := levelNodes[lv-1]
+		for _, v := range levelNodes[lv] {
 			deps := 1 + st.edges.Intn(3)
-			for d := 0; d < deps && len(sends) < budget; d++ {
-				u := layers[t][st.edges.Intn(len(layers[t]))]
-				s := sched.SlotSend{
-					Proc: u,
-					Dst:  v,
-					Len:  1 + st.inject.Intn(maxLen),
-				}
-				s.Slot = pack.place(u, s.Flits())
-				sends = append(sends, s)
+			for dd := 0; dd < deps && len(d.Edges) < MaxSendsTotal-1; dd++ {
+				u := prev[st.edges.Intn(len(prev))]
+				d.Edges = append(d.Edges, dagsched.Edge{U: u, V: v, Len: 1 + st.inject.Intn(maxLen)})
 			}
 		}
-		// Deterministic order: sort by (proc, slot) so the encoding does
-		// not depend on layer iteration order.
-		sort.Slice(sends, func(a, b int) bool {
-			if sends[a].Proc != sends[b].Proc {
-				return sends[a].Proc < sends[b].Proc
-			}
-			return sends[a].Slot < sends[b].Slot
-		})
-		w.Steps = append(w.Steps, Superstep{Sends: sends})
 	}
+	levels, err := d.Levels()
+	if err != nil {
+		panic(fmt.Sprintf("workgen: generated DAG not acyclic: %v", err))
+	}
+	place := dagsched.LevelSchedule(d, levels, ir.P)
+	lowered, err := dagsched.Lower(d, levels, place, ir.P, ir.M, ir.L, dagsched.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("workgen: DAG lowering failed: %v", err))
+	}
+	ir.Steps = lowered.Steps
+	ir.Prec = lowered.Prec
 }
 
-func genBalls(w *Workload, st streams, steps int, load, skew float64) {
+func genBalls(ir *work.IR, st streams, steps int, load, skew float64) {
 	// n balls per superstep, Zipf-skewed bins as destinations; each ball is
 	// a unit message from a uniform sender. A permutation decouples bin
 	// rank from processor id so bin 0 is not always processor 0.
-	n := int(load * float64(w.P))
+	n := int(load * float64(ir.P))
 	if n < 1 {
 		n = 1
 	}
 	if b := perStepBudget(steps); n > b {
 		n = b
 	}
-	z := xrand.NewZipf(st.edges, w.P, skew)
-	binOf := st.shape.Perm(w.P)
-	pack := newPacker(w.P, st.slots)
+	z := xrand.NewZipf(st.edges, ir.P, skew)
+	binOf := st.shape.Perm(ir.P)
+	pack := newPacker(ir.P, st.slots)
 	for t := 0; t < steps; t++ {
 		pack.reset()
-		sends := make([]sched.SlotSend, 0, n)
+		sends := make([]work.Send, 0, n)
 		for k := 0; k < n; k++ {
-			src := st.inject.Intn(w.P)
-			s := sched.SlotSend{
+			src := st.inject.Intn(ir.P)
+			s := work.Send{
 				Proc: src,
 				Dst:  binOf[z.Draw()],
 				Len:  1,
@@ -441,7 +519,7 @@ func genBalls(w *Workload, st streams, steps int, load, skew float64) {
 			}
 			return sends[a].Slot < sends[b].Slot
 		})
-		w.Steps = append(w.Steps, Superstep{Sends: sends})
+		ir.Steps = append(ir.Steps, work.Step{Sends: sends})
 	}
 }
 
